@@ -1,0 +1,200 @@
+package netorient_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/experiments"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+// benchCfg is the configuration the experiment benches run under;
+// quick mode keeps -bench runs short while exercising every code
+// path of the harness. cmd/benchtab regenerates the full tables.
+func benchCfg(seed int64) experiments.Config {
+	return experiments.Config{Seed: seed, Quick: true}
+}
+
+// runExperiment drives one experiment once per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := e.Run(benchCfg(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper artefact (DESIGN.md §5).
+
+// BenchmarkF1Chordal regenerates Figure 2.2.1 (chordal SoD example).
+func BenchmarkF1Chordal(b *testing.B) { runExperiment(b, "F1") }
+
+// BenchmarkF2DFTNOTrace regenerates Figure 3.1.1 (DFTNO labeling trace).
+func BenchmarkF2DFTNOTrace(b *testing.B) { runExperiment(b, "F2") }
+
+// BenchmarkF3STNOTrace regenerates Figure 4.1.1 (STNO weights/naming).
+func BenchmarkF3STNOTrace(b *testing.B) { runExperiment(b, "F3") }
+
+// BenchmarkT1DFTNOScaling regenerates the §3.2.3 O(n) claim.
+func BenchmarkT1DFTNOScaling(b *testing.B) { runExperiment(b, "T1") }
+
+// BenchmarkT2STNOHeight regenerates the §4.2.3 O(h) claim.
+func BenchmarkT2STNOHeight(b *testing.B) { runExperiment(b, "T2") }
+
+// BenchmarkT3Space regenerates the space-accounting comparison.
+func BenchmarkT3Space(b *testing.B) { runExperiment(b, "T3") }
+
+// BenchmarkT4Recovery regenerates the fault-recovery table.
+func BenchmarkT4Recovery(b *testing.B) { runExperiment(b, "T4") }
+
+// BenchmarkT5SoDBenefit regenerates the message-complexity table.
+func BenchmarkT5SoDBenefit(b *testing.B) { runExperiment(b, "T5") }
+
+// BenchmarkT6Equivalence regenerates the DFS-tree/DFTNO naming check.
+func BenchmarkT6Equivalence(b *testing.B) { runExperiment(b, "T6") }
+
+// BenchmarkT7Daemons regenerates the daemon ablation.
+func BenchmarkT7Daemons(b *testing.B) { runExperiment(b, "T7") }
+
+// BenchmarkT8Orderings regenerates the ψ-ordering ablation.
+func BenchmarkT8Orderings(b *testing.B) { runExperiment(b, "T8") }
+
+// BenchmarkT9Election regenerates the election comparison.
+func BenchmarkT9Election(b *testing.B) { runExperiment(b, "T9") }
+
+// BenchmarkT10Routing regenerates the greedy-routing stretch table.
+func BenchmarkT10Routing(b *testing.B) { runExperiment(b, "T10") }
+
+// Micro-benchmarks of the moving parts, with shape metrics reported
+// per operation.
+
+// BenchmarkTokenRound measures one full circulation round of the
+// self-stabilizing token layer on a 64-ring.
+func BenchmarkTokenRound(b *testing.B) {
+	g := graph.Ring(64)
+	c, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := program.NewSystem(c, daemon.NewDeterministic())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := c.Round() + 1
+		for c.Round() < target || !c.Done(0) {
+			if _, err := sys.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(sys.Moves())/float64(b.N), "moves/round")
+}
+
+// BenchmarkDFTNOStabilizeFromRandom measures full-stack stabilization
+// on a 4x4 grid from arbitrary configurations.
+func BenchmarkDFTNOStabilizeFromRandom(b *testing.B) {
+	g := graph.Grid(4, 4)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Randomize(rng)
+		sys := program.NewSystem(d, daemon.NewCentral(int64(i)))
+		res, err := sys.RunUntilLegitimate(1 << 24)
+		if err != nil || !res.Converged {
+			b.Fatalf("no convergence: %v", err)
+		}
+		total += res.Moves
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "moves/stabilization")
+}
+
+// BenchmarkSTNOStabilizeFromRandom is the STNO counterpart.
+func BenchmarkSTNOStabilizeFromRandom(b *testing.B) {
+	g := graph.Grid(4, 4)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.NewSTNO(g, sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Randomize(rng)
+		sys := program.NewSystem(s, daemon.NewCentral(int64(i)))
+		res, err := sys.RunUntilLegitimate(1 << 24)
+		if err != nil || !res.Converged {
+			b.Fatalf("no convergence: %v", err)
+		}
+		total += res.Moves
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "moves/stabilization")
+}
+
+// BenchmarkEnabledScan measures guard evaluation over a whole
+// configuration — the simulator's hot path.
+func BenchmarkEnabledScan(b *testing.B) {
+	g := graph.Grid(8, 8)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []program.ActionID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			buf = d.Enabled(graph.NodeID(v), buf[:0])
+		}
+	}
+}
+
+// BenchmarkSnapshot measures configuration capture, the model
+// checker's hot path.
+func BenchmarkSnapshot(b *testing.B) {
+	g := graph.Grid(8, 8)
+	c, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command benchtab regenerates the paper-reproduction tables: one per
+// figure and complexity claim of the evaluation (see DESIGN.md §5 and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchtab [-exp all|F1,F2,...] [-seed N] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netorient/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		expList = fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed    = fs.Int64("seed", 42, "random seed (fixed seed ⇒ identical tables)")
+		quick   = fs.Bool("quick", false, "smaller sweeps")
+		trials  = fs.Int("trials", 0, "override per-point trials (0 = default)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+
+	var selected []experiments.Experiment
+	if *expList == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T8)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Artefact)
+		tb, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			if err := tb.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package netorient is a faithful, production-quality reproduction of
+// "Self-Stabilizing Network Orientation Algorithms in Arbitrary Rooted
+// Networks" (Gurumurthy & Datta, ICDCS 2000).
+//
+// The library implements the paper's two self-stabilizing network
+// orientation protocols — DFTNO (built on a depth-first token circulation
+// substrate) and STNO (built on a spanning tree substrate) — together with
+// every substrate they depend on, a guarded-command execution model with
+// pluggable daemons, an exhaustive model checker for self-stabilization
+// properties, chordal sense-of-direction utilities, fault injection, and a
+// benchmark harness that regenerates every figure and complexity claim of
+// the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. All implementation lives under internal/;
+// the runnable entry points are the programs in cmd/ and examples/.
+package netorient

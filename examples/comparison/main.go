@@ -1,0 +1,107 @@
+// Comparison: run both of the paper's protocols — DFTNO (token
+// substrate) and STNO (tree substrate) — across topologies and
+// compare stabilization cost, echoing the trade-off Chapter 5 draws:
+// same orientation-layer space, different substrate costs and
+// stabilization behaviour (O(n) steps vs O(h) steps after the
+// respective substrate stabilizes).
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+	"netorient/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topologies := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring-16", graph.Ring(16)},
+		{"grid-4x4", graph.Grid(4, 4)},
+		{"clique-8", graph.Complete(8)},
+		{"binary-tree-15", graph.KAryTree(15, 2)},
+		{"lollipop-6+6", graph.Lollipop(6, 6)},
+	}
+	const trials = 10
+	tb := trace.NewTable(
+		fmt.Sprintf("DFTNO vs STNO — full-stack stabilization from arbitrary configurations (median over %d trials, central daemon)", trials),
+		"topology", "n", "m", "dftno moves", "dftno rounds", "stno moves", "stno rounds", "namings equal")
+
+	for _, topo := range topologies {
+		g := topo.g
+		rng := rand.New(rand.NewSource(42))
+
+		measure := func(p interface {
+			program.Protocol
+			program.Legitimacy
+			program.Randomizer
+		}) (float64, float64, error) {
+			var moves, rounds []int64
+			for trial := 0; trial < trials; trial++ {
+				p.Randomize(rng)
+				sys := program.NewSystem(p, daemon.NewCentral(int64(trial)))
+				res, err := sys.RunUntilLegitimate(1 << 24)
+				if err != nil || !res.Converged {
+					return 0, 0, fmt.Errorf("%s on %s: %v", p.Name(), topo.name, err)
+				}
+				moves = append(moves, res.Moves)
+				rounds = append(rounds, res.Rounds)
+			}
+			return trace.SummarizeInts(moves).Median, trace.SummarizeInts(rounds).Median, nil
+		}
+
+		tokenSub, err := token.NewCirculator(g, 0)
+		if err != nil {
+			return err
+		}
+		dftno, err := core.NewDFTNO(g, tokenSub, 0)
+		if err != nil {
+			return err
+		}
+		dMoves, dRounds, err := measure(dftno)
+		if err != nil {
+			return err
+		}
+
+		treeSub, err := spantree.NewBFSTree(g, 0)
+		if err != nil {
+			return err
+		}
+		stno, err := core.NewSTNO(g, treeSub, 0)
+		if err != nil {
+			return err
+		}
+		sMoves, sRounds, err := measure(stno)
+		if err != nil {
+			return err
+		}
+
+		equal := true
+		sn, dn := stno.Names(), dftno.Names()
+		for v := range sn {
+			if sn[v] != dn[v] {
+				equal = false
+			}
+		}
+		tb.AddRow(topo.name, g.N(), g.M(), dMoves, dRounds, sMoves, sRounds, equal)
+	}
+	return tb.Render(os.Stdout)
+}

@@ -1,0 +1,165 @@
+// Package apps implements the message-passing applications the paper
+// motivates network orientation with (§1.3, §1.4, Chapter 5): Santoro
+// showed that an available orientation decreases the message
+// complexity of fundamental computations. The functions here simulate
+// broadcast and depth-first traversal with and without a chordal sense
+// of direction and report exact message counts, which experiment T5
+// compares.
+package apps
+
+import (
+	"fmt"
+
+	"netorient/internal/graph"
+	"netorient/internal/sod"
+)
+
+// FloodBroadcast simulates broadcast by flooding on an un-oriented
+// network: the source sends to every neighbour; every other node, on
+// its first reception, forwards to every neighbour except the sender.
+// It returns the total messages (the classic 2m − (n−1)) and the
+// number of communication rounds until quiescence.
+func FloodBroadcast(g *graph.Graph, source graph.NodeID) (messages, rounds int) {
+	informed := make([]bool, g.N())
+	informed[source] = true
+	type send struct{ from, to graph.NodeID }
+	frontier := []send{}
+	for _, q := range g.Neighbors(source) {
+		frontier = append(frontier, send{source, q})
+	}
+	for len(frontier) > 0 {
+		rounds++
+		messages += len(frontier)
+		var next []send
+		for _, s := range frontier {
+			if informed[s.to] {
+				continue
+			}
+			informed[s.to] = true
+			for _, q := range g.Neighbors(s.to) {
+				if q != s.from {
+					next = append(next, send{s.to, q})
+				}
+			}
+		}
+		frontier = next
+	}
+	return messages, rounds
+}
+
+// TraverseNoSoD simulates the classic depth-first traversal of an
+// anonymous un-oriented network (Tarry's algorithm): the token must
+// probe every incident edge because a node cannot tell which
+// neighbours were already visited. Every edge carries the token
+// exactly twice, so the message count is 2m.
+func TraverseNoSoD(g *graph.Graph, root graph.NodeID) (messages int) {
+	visited := make([]bool, g.N())
+	used := make(map[[2]graph.NodeID]bool, 2*g.M())
+	parent := make([]graph.NodeID, g.N())
+	for i := range parent {
+		parent[i] = graph.None
+	}
+	visited[root] = true
+	cur := root
+	for {
+		moved := false
+		for _, q := range g.Neighbors(cur) {
+			if q == parent[cur] {
+				// Tarry's rule: the parent edge is only used to
+				// backtrack, after every other edge is exhausted.
+				continue
+			}
+			if used[[2]graph.NodeID{cur, q}] {
+				continue
+			}
+			// Send the token over an unused edge direction.
+			used[[2]graph.NodeID{cur, q}] = true
+			messages++
+			if visited[q] {
+				// Immediately bounced back by the DFS rule.
+				used[[2]graph.NodeID{q, cur}] = true
+				messages++
+				continue
+			}
+			visited[q] = true
+			parent[q] = cur
+			cur = q
+			moved = true
+			break
+		}
+		if moved {
+			continue
+		}
+		if cur == root {
+			return messages
+		}
+		// Backtrack to the parent.
+		used[[2]graph.NodeID{cur, parent[cur]}] = true
+		messages++
+		cur = parent[cur]
+	}
+}
+
+// TraverseWithSoD simulates depth-first traversal exploiting a chordal
+// sense of direction: the token carries the set of visited names, and
+// a node translates every incident label into the neighbour's name
+// locally (sod.Labeling.TranslateName), so it never probes an edge to
+// an already-visited node. The token moves only over tree edges:
+// 2(n−1) messages.
+func TraverseWithSoD(g *graph.Graph, l *sod.Labeling, root graph.NodeID) (messages int, err error) {
+	if err := l.Validate(g); err != nil {
+		return 0, fmt.Errorf("apps: traversal needs a valid orientation: %w", err)
+	}
+	visitedName := make(map[int]bool, g.N())
+	visitedName[l.Names[root]] = true
+	parent := make([]graph.NodeID, g.N())
+	for i := range parent {
+		parent[i] = graph.None
+	}
+	cur := root
+	for {
+		moved := false
+		for port, q := range g.Neighbors(cur) {
+			if visitedName[l.TranslateName(cur, port)] {
+				continue
+			}
+			messages++
+			visitedName[l.Names[q]] = true
+			parent[q] = cur
+			cur = q
+			moved = true
+			break
+		}
+		if moved {
+			continue
+		}
+		if cur == root {
+			if len(visitedName) != g.N() {
+				return messages, fmt.Errorf("apps: traversal visited %d of %d nodes", len(visitedName), g.N())
+			}
+			return messages, nil
+		}
+		messages++
+		cur = parent[cur]
+	}
+}
+
+// BroadcastWithSoD simulates broadcast over the oriented network: the
+// source performs the SoD traversal and delivers the payload as the
+// token travels, so the message count equals the traversal's 2(n−1) —
+// compared against flooding's 2m − (n−1). On a clique the orientation
+// even allows direct addressing (n−1 messages), reported separately
+// by DirectBroadcastMessages.
+func BroadcastWithSoD(g *graph.Graph, l *sod.Labeling, source graph.NodeID) (messages int, err error) {
+	return TraverseWithSoD(g, l, source)
+}
+
+// DirectBroadcastMessages returns the message count of direct
+// per-neighbour addressing, applicable when the source is adjacent to
+// every other node (cliques, stars from the hub): n−1.
+func DirectBroadcastMessages(g *graph.Graph, source graph.NodeID) (int, bool) {
+	if g.Degree(source) != g.N()-1 {
+		return 0, false
+	}
+	return g.N() - 1, true
+}

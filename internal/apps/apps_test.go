@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netorient/internal/graph"
+	"netorient/internal/sod"
+)
+
+func identityLabeling(g *graph.Graph) *sod.Labeling {
+	names := make([]int, g.N())
+	for i := range names {
+		names[i] = i
+	}
+	return sod.FromNames(g, names, g.N())
+}
+
+func TestFloodBroadcastMessageCount(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring8", graph.Ring(8)},
+		{"clique6", graph.Complete(6)},
+		{"grid3x3", graph.Grid(3, 3)},
+		{"tree7", graph.KAryTree(7, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			msgs, rounds := FloodBroadcast(c.g, 0)
+			want := 2*c.g.M() - (c.g.N() - 1)
+			if msgs != want {
+				t.Errorf("flooding used %d messages, want 2m-(n-1)=%d", msgs, want)
+			}
+			if rounds < 1 || rounds > c.g.N() {
+				t.Errorf("rounds %d out of range", rounds)
+			}
+		})
+	}
+}
+
+func TestTraverseNoSoDUsesTwoMessagesPerEdge(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, int(extraRaw%10), rng)
+		return TraverseNoSoD(g, 0) == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraverseWithSoDUsesTreeEdgesOnly(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, int(extraRaw%10), rng)
+		msgs, err := TraverseWithSoD(g, identityLabeling(g), 0)
+		return err == nil && msgs == 2*(g.N()-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraverseWithSoDRejectsInvalidLabeling(t *testing.T) {
+	g := graph.Ring(5)
+	l := identityLabeling(g)
+	l.Labels[0][0] = (l.Labels[0][0] + 1) % 5
+	if _, err := TraverseWithSoD(g, l, 0); err == nil {
+		t.Fatal("expected error for invalid labeling")
+	}
+}
+
+func TestOrientationReducesTraversalMessages(t *testing.T) {
+	// The T5 claim: on any graph denser than a tree, oriented
+	// traversal (2(n-1)) beats unoriented traversal (2m).
+	for _, g := range []*graph.Graph{
+		graph.Complete(8),
+		graph.Torus(4, 4),
+		graph.Hypercube(4),
+		graph.Wheel(9),
+	} {
+		with, err := TraverseWithSoD(g, identityLabeling(g), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without := TraverseNoSoD(g, 0)
+		if with >= without {
+			t.Errorf("%s: oriented %d ≥ unoriented %d messages", g, with, without)
+		}
+	}
+}
+
+func TestDirectBroadcast(t *testing.T) {
+	g := graph.Complete(7)
+	msgs, ok := DirectBroadcastMessages(g, 0)
+	if !ok || msgs != 6 {
+		t.Fatalf("clique direct broadcast = %d,%v want 6,true", msgs, ok)
+	}
+	if _, ok := DirectBroadcastMessages(graph.Ring(5), 0); ok {
+		t.Error("ring node is not adjacent to everyone")
+	}
+	if msgs, ok := DirectBroadcastMessages(graph.Star(6), 0); !ok || msgs != 5 {
+		t.Errorf("star hub direct broadcast = %d,%v want 5,true", msgs, ok)
+	}
+}
+
+func TestBroadcastWithSoDDeliversToAll(t *testing.T) {
+	g := graph.Grid(3, 4)
+	msgs, err := BroadcastWithSoD(g, identityLabeling(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != 2*(g.N()-1) {
+		t.Errorf("broadcast used %d messages, want %d", msgs, 2*(g.N()-1))
+	}
+}

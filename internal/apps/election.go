@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"netorient/internal/graph"
+	"netorient/internal/sod"
+)
+
+// Leader election on rings, with and without a sense of direction —
+// the comparison the paper's related work points at ([25]: election
+// on rings "can be solved more efficiently in presence of the SoD",
+// and Chapter 5: processors can "refer to the other processors by
+// locally unique names").
+//
+// Three regimes:
+//
+//   - Un-oriented ring, distinct ids: Hirschberg–Sinclair, the classic
+//     O(n log n) bidirectional algorithm that needs no direction.
+//   - Oriented ring (every node knows its clockwise port — one bit of
+//     the sense of direction): Chang–Roberts, unidirectional.
+//   - Chordally oriented ring (the full SP1∧SP2 labeling): no messages
+//     at all — the names are globally unique and the range 0..N−1 is
+//     common knowledge, so "the node named 0" is already elected;
+//     announcing it costs one broadcast.
+
+// Election errors.
+var (
+	ErrNotRing      = errors.New("apps: election needs a ring (every degree 2)")
+	ErrDuplicateIDs = errors.New("apps: election needs distinct ids")
+)
+
+// ringOrder walks the ring from node 0 and returns the nodes in
+// cyclic order.
+func ringOrder(g *graph.Graph) ([]graph.NodeID, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, ErrNotRing
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) != 2 {
+			return nil, ErrNotRing
+		}
+	}
+	order := make([]graph.NodeID, 0, n)
+	prev, cur := graph.None, graph.NodeID(0)
+	for i := 0; i < n; i++ {
+		order = append(order, cur)
+		next := g.Neighbor(cur, 0)
+		if next == prev {
+			next = g.Neighbor(cur, 1)
+		}
+		prev, cur = cur, next
+	}
+	if cur != 0 {
+		return nil, ErrNotRing
+	}
+	return order, nil
+}
+
+func checkDistinct(ids []int) error {
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("%w: %d appears twice", ErrDuplicateIDs, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// ElectChangRoberts simulates Chang–Roberts on an oriented ring: each
+// node forwards election messages clockwise, discarding ids smaller
+// than the largest seen; the maximum id's message returns to its
+// originator, which becomes the leader. Requires the one-directional
+// sense of direction an orientation provides. Returns the winner and
+// the total message count (between n and n(n+1)/2 plus the n-message
+// victory lap, depending on the id arrangement).
+func ElectChangRoberts(g *graph.Graph, ids []int) (leader graph.NodeID, messages int, err error) {
+	order, err := ringOrder(g)
+	if err != nil {
+		return graph.None, 0, err
+	}
+	if len(ids) != g.N() {
+		return graph.None, 0, fmt.Errorf("apps: %d ids for %d nodes", len(ids), g.N())
+	}
+	if err := checkDistinct(ids); err != nil {
+		return graph.None, 0, err
+	}
+	n := g.N()
+	// token[i] is the id currently waiting at ring position i (or -1).
+	// Initially every node emits its own id; a node forwards ids
+	// larger than its own and swallows the rest.
+	type msg struct {
+		pos int
+		id  int
+	}
+	var queue []msg
+	for i, v := range order {
+		_ = v
+		queue = append(queue, msg{pos: (i + 1) % n, id: ids[order[i]]})
+		messages++
+	}
+	best := ids[order[0]]
+	for _, id := range ids {
+		if id > best {
+			best = id
+		}
+	}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		at := order[m.pos]
+		switch {
+		case m.id == ids[at]:
+			// The id made a full loop: its owner is the leader; it
+			// announces with one final lap.
+			messages += n
+			return at, messages, nil
+		case m.id > ids[at]:
+			queue = append(queue, msg{pos: (m.pos + 1) % n, id: m.id})
+			messages++
+		default:
+			// Swallowed.
+		}
+	}
+	return graph.None, messages, fmt.Errorf("apps: chang-roberts did not elect (max id %d)", best)
+}
+
+// ElectHirschbergSinclair simulates Hirschberg–Sinclair on an
+// un-oriented bidirectional ring: candidates probe 2^k hops in both
+// directions per phase, surviving only if their id beats everyone in
+// the neighbourhood; O(n log n) messages, no direction needed.
+// Returns the winner and the message count.
+func ElectHirschbergSinclair(g *graph.Graph, ids []int) (leader graph.NodeID, messages int, err error) {
+	order, err := ringOrder(g)
+	if err != nil {
+		return graph.None, 0, err
+	}
+	if len(ids) != g.N() {
+		return graph.None, 0, fmt.Errorf("apps: %d ids for %d nodes", len(ids), g.N())
+	}
+	if err := checkDistinct(ids); err != nil {
+		return graph.None, 0, err
+	}
+	n := g.N()
+	pos := make([]int, n) // ring position by node
+	for i, v := range order {
+		pos[v] = i
+	}
+	candidate := make([]bool, n)
+	for i := range candidate {
+		candidate[i] = true
+	}
+	for dist := 1; ; dist *= 2 {
+		survivors := 0
+		var winner graph.NodeID
+		for i := 0; i < n; i++ {
+			if !candidate[order[i]] {
+				continue
+			}
+			id := ids[order[i]]
+			// Probe dist hops each way: a probe travels out up to
+			// dist hops (stopping early at a larger id) and, if it
+			// survives, an ok travels back the same distance.
+			beaten := false
+			for _, dir := range []int{1, -1} {
+				hops := 0
+				for h := 1; h <= dist; h++ {
+					hops++
+					at := order[((i+dir*h)%n+n)%n]
+					if ids[at] > id {
+						beaten = true
+						break
+					}
+					if at == order[i] {
+						break // wrapped the whole ring
+					}
+				}
+				messages += hops // outbound probe
+				if !beaten {
+					messages += hops // ok reply
+				}
+				if beaten {
+					break
+				}
+			}
+			if !beaten {
+				survivors++
+				winner = order[i]
+			} else {
+				candidate[order[i]] = false
+			}
+		}
+		if survivors == 1 && dist >= n {
+			// Victory lap to announce.
+			messages += n
+			return winner, messages, nil
+		}
+		if survivors == 0 {
+			return graph.None, messages, errors.New("apps: hirschberg-sinclair eliminated everyone")
+		}
+	}
+}
+
+// ElectWithOrientation elects on a network that already carries a
+// valid chordal orientation: the node named 0 is the leader by common
+// knowledge — zero election messages — and announcing it costs one
+// SoD broadcast (2(n−1) messages; n−1 on a clique).
+func ElectWithOrientation(g *graph.Graph, l *sod.Labeling) (leader graph.NodeID, messages int, err error) {
+	if err := l.Validate(g); err != nil {
+		return graph.None, 0, fmt.Errorf("apps: election needs a valid orientation: %w", err)
+	}
+	leader = l.NodeByName(0)
+	if leader == graph.None {
+		return graph.None, 0, errors.New("apps: no node named 0")
+	}
+	messages, err = BroadcastWithSoD(g, l, leader)
+	return leader, messages, err
+}

@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netorient/internal/graph"
+	"netorient/internal/sod"
+)
+
+func seqIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func TestChangRobertsElectsMaxID(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(20)
+		g := graph.Ring(n)
+		ids := rng.Perm(n)
+		leader, msgs, err := ElectChangRoberts(g, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[leader] != n-1 {
+			t.Fatalf("leader id %d, want max %d", ids[leader], n-1)
+		}
+		// Bounds: between 2n (n start + n lap) and n(n+1)/2 + n.
+		if msgs < 2*n || msgs > n*(n+1)/2+n {
+			t.Fatalf("n=%d: %d messages out of Chang-Roberts bounds", n, msgs)
+		}
+	}
+}
+
+func TestChangRobertsWorstCase(t *testing.T) {
+	// Decreasing ids along the direction of travel give the classic
+	// O(n^2) worst case: id k travels k+1 hops... totalling
+	// n(n+1)/2, plus the victory lap.
+	n := 8
+	g := graph.Ring(n)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = n - 1 - i // node 0 has the max; messages travel 0→1→…
+	}
+	_, msgs, err := ElectChangRoberts(g, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n*(n+1)/2 + n
+	if msgs != want {
+		t.Fatalf("worst case: %d messages, want %d", msgs, want)
+	}
+}
+
+func TestHirschbergSinclairElectsMaxID(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(30)
+		g := graph.Ring(n)
+		ids := rng.Perm(n)
+		leader, msgs, err := ElectHirschbergSinclair(g, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[leader] != n-1 {
+			t.Fatalf("leader id %d, want max %d", ids[leader], n-1)
+		}
+		// O(n log n) bound with the textbook constant 8, plus laps.
+		bound := int(8*float64(n)*(math.Log2(float64(n))+2)) + 2*n
+		if msgs > bound {
+			t.Fatalf("n=%d: %d messages exceed O(n log n) bound %d", n, msgs, bound)
+		}
+	}
+}
+
+func TestElectWithOrientationPicksNameZero(t *testing.T) {
+	g := graph.Ring(9)
+	names := []int{3, 4, 5, 6, 7, 8, 0, 1, 2}
+	l := sod.FromNames(g, names, 9)
+	leader, msgs, err := ElectWithOrientation(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 6 {
+		t.Fatalf("leader %d, want node 6 (named 0)", leader)
+	}
+	if msgs != 2*(g.N()-1) {
+		t.Fatalf("announcement cost %d, want %d", msgs, 2*(g.N()-1))
+	}
+}
+
+func TestElectWithOrientationBeatsMessagePassing(t *testing.T) {
+	// The point of T9: once oriented, election costs only the
+	// announcement — strictly less than either message-passing
+	// algorithm on the same ring.
+	n := 32
+	g := graph.Ring(n)
+	l := sod.FromNames(g, seqIDs(n), n)
+	_, withSoD, err := ElectWithOrientation(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cr, err := ElectChangRoberts(g, seqIDs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs, err := ElectHirschbergSinclair(g, seqIDs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSoD >= cr || withSoD >= hs {
+		t.Fatalf("oriented election %d not cheaper than CR %d / HS %d", withSoD, cr, hs)
+	}
+}
+
+func TestElectionRejectsBadInputs(t *testing.T) {
+	if _, _, err := ElectChangRoberts(graph.Star(5), seqIDs(5)); !errors.Is(err, ErrNotRing) {
+		t.Errorf("star: got %v, want ErrNotRing", err)
+	}
+	if _, _, err := ElectChangRoberts(graph.Ring(5), []int{1, 1, 2, 3, 4}); !errors.Is(err, ErrDuplicateIDs) {
+		t.Errorf("dup ids: got %v, want ErrDuplicateIDs", err)
+	}
+	if _, _, err := ElectHirschbergSinclair(graph.Ring(5), seqIDs(4)); err == nil {
+		t.Error("id count mismatch accepted")
+	}
+	bad := sod.FromNames(graph.Ring(5), []int{0, 0, 1, 2, 3}, 5)
+	if _, _, err := ElectWithOrientation(graph.Ring(5), bad); err == nil {
+		t.Error("invalid labeling accepted")
+	}
+}

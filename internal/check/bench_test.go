@@ -1,0 +1,33 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/graph"
+	"netorient/internal/token"
+)
+
+// BenchmarkVerifyTokenPath3 measures the exhaustive verification of
+// the token layer on a 3-path from 30 random seeds.
+func BenchmarkVerifyTokenPath3(b *testing.B) {
+	g := graph.Path(3)
+	c, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seeds, err := RandomSeeds(c, 30, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Verify(c, Options{Seeds: seeds, MaxStates: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.States), "states")
+	}
+}

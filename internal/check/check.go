@@ -1,0 +1,467 @@
+// Package check is an explicit-state model checker for
+// self-stabilization. Given a protocol whose configurations can be
+// snapshotted canonically, it explores the full set of configurations
+// reachable from a seed set under the central daemon (every enabled
+// move is a branch) and verifies the two halves of Definition 2.1.2:
+//
+//   - Convergence — every maximal execution from every explored
+//     configuration reaches a legitimate configuration: the subgraph
+//     induced by illegitimate configurations contains no cycle and no
+//     terminal configuration.
+//   - Closure — every successor of a legitimate configuration is
+//     legitimate.
+//
+// Exploration is exhaustive over the reachable closure of the seeds;
+// combined with seed sets that include randomized and systematically
+// corrupted configurations, this machine-checks self-stabilization on
+// small networks where pencil-and-paper proofs are easiest to get
+// wrong.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// Target is the protocol contract the checker needs.
+type Target interface {
+	program.Protocol
+	program.Legitimacy
+	program.Snapshotter
+}
+
+// Fairness selects the daemon assumption under which convergence is
+// judged. Stronger assumptions exclude more adversarial schedules, so
+// they accept more protocols.
+type Fairness int
+
+const (
+	// Unfair: any illegitimate cycle is a violation — the daemon may
+	// repeat any schedule forever.
+	Unfair Fairness = iota
+	// WeakFair: an illegitimate strongly connected component counts
+	// only if it admits a weakly fair run — every processor enabled
+	// in all of its states also moves inside it. (A processor
+	// continuously enabled but never executed makes the run unfair.)
+	WeakFair
+	// StrongFair: an illegitimate strongly connected component counts
+	// only if it admits a strongly fair run — every (processor,
+	// action) move enabled anywhere in it also executes inside it.
+	// (A move enabled infinitely often whose every execution leaves
+	// the component forces fair runs out.)
+	StrongFair
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Seeds are initial configurations (snapshots). If empty, the
+	// protocol's current configuration is the only seed.
+	Seeds [][]byte
+	// MaxStates aborts exploration when exceeded (0 = 500 000).
+	MaxStates int
+	// Fairness selects the convergence criterion (default Unfair,
+	// the strictest).
+	Fairness Fairness
+}
+
+// Report summarises a verification run.
+type Report struct {
+	// States is the number of distinct configurations explored.
+	States int
+	// LegitStates is how many of them satisfy the legitimacy predicate.
+	LegitStates int
+	// Transitions is the number of explored moves.
+	Transitions int
+	// MaxStepsToLegit is the longest shortest path from any explored
+	// configuration to the legitimate set.
+	MaxStepsToLegit int
+}
+
+// Violation errors.
+var (
+	// ErrStateExplosion reports that MaxStates was exceeded.
+	ErrStateExplosion = errors.New("check: state space exceeds limit")
+)
+
+// ConvergenceError reports a configuration from which legitimacy is
+// not guaranteed: a terminal illegitimate configuration or an
+// illegitimate cycle.
+type ConvergenceError struct {
+	Kind    string // "terminal" or "cycle"
+	Witness []byte // a configuration on the offending path
+}
+
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("check: convergence violated (%s illegitimate configuration found)", e.Kind)
+}
+
+// ClosureError reports a legitimate configuration with an illegitimate
+// successor.
+type ClosureError struct {
+	From []byte
+	To   []byte
+	Move program.Move
+}
+
+func (e *ClosureError) Error() string {
+	return fmt.Sprintf("check: closure violated by move (node %d, action %d)", e.Move.Node, e.Move.Action)
+}
+
+// Verify explores the reachable configuration space and checks closure
+// and convergence. The target's configuration is clobbered; callers
+// should restore it afterwards if they need it.
+func Verify(t Target, opts Options) (Report, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 500000
+	}
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		seeds = [][]byte{t.Snapshot()}
+	}
+
+	g := t.Graph()
+	if opts.Fairness != Unfair && g.N() > 64 {
+		return Report{}, fmt.Errorf("check: fairness analysis supports at most 64 nodes, graph has %d", g.N())
+	}
+
+	type stateInfo struct {
+		legit   bool
+		enabled uint64 // bitmask of processors with an enabled action
+		succ    []int32
+		mover   []int32            // processor executing the corresponding succ edge
+		act     []program.ActionID // action of the corresponding succ edge
+	}
+	index := make(map[string]int32)
+	var states []stateInfo
+	var snaps [][]byte
+	var queue []int32
+	var ebuf []program.ActionID
+
+	intern := func(snap []byte) (int32, bool, error) {
+		key := string(snap)
+		if id, ok := index[key]; ok {
+			return id, false, nil
+		}
+		if len(states) >= maxStates {
+			return 0, false, fmt.Errorf("%w (%d)", ErrStateExplosion, maxStates)
+		}
+		id := int32(len(states))
+		index[key] = id
+		if err := t.Restore(snap); err != nil {
+			return 0, false, fmt.Errorf("check: restore: %w", err)
+		}
+		var mask uint64
+		for v := 0; v < g.N(); v++ {
+			ebuf = t.Enabled(graph.NodeID(v), ebuf[:0])
+			if len(ebuf) > 0 && v < 64 {
+				mask |= 1 << uint(v)
+			}
+		}
+		states = append(states, stateInfo{legit: t.Legitimate(), enabled: mask})
+		snaps = append(snaps, snap)
+		return id, true, nil
+	}
+
+	var rep Report
+	for _, s := range seeds {
+		seed := make([]byte, len(s))
+		copy(seed, s)
+		id, fresh, err := intern(seed)
+		if err != nil {
+			return rep, err
+		}
+		if fresh {
+			queue = append(queue, id)
+		}
+	}
+
+	var buf []program.ActionID
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		base := snaps[id]
+
+		// Enumerate enabled moves on the restored configuration.
+		if err := t.Restore(base); err != nil {
+			return rep, fmt.Errorf("check: restore: %w", err)
+		}
+		var moves []program.Move
+		for v := 0; v < g.N(); v++ {
+			buf = t.Enabled(graph.NodeID(v), buf[:0])
+			for _, a := range buf {
+				moves = append(moves, program.Move{Node: graph.NodeID(v), Action: a})
+			}
+		}
+
+		for _, mv := range moves {
+			if err := t.Restore(base); err != nil {
+				return rep, fmt.Errorf("check: restore: %w", err)
+			}
+			if !t.Execute(mv.Node, mv.Action) {
+				return rep, fmt.Errorf("check: enabled move (node %d, action %d) refused to fire", mv.Node, mv.Action)
+			}
+			succ, fresh, err := intern(t.Snapshot())
+			if err != nil {
+				return rep, err
+			}
+			rep.Transitions++
+			states[id].succ = append(states[id].succ, succ)
+			states[id].mover = append(states[id].mover, int32(mv.Node))
+			states[id].act = append(states[id].act, mv.Action)
+			if states[id].legit && !states[succ].legit {
+				return rep, &ClosureError{From: base, To: snaps[succ], Move: mv}
+			}
+			if fresh {
+				queue = append(queue, succ)
+			}
+		}
+
+		if len(moves) == 0 && !states[id].legit {
+			return rep, &ConvergenceError{Kind: "terminal", Witness: base}
+		}
+	}
+
+	rep.States = len(states)
+	for _, st := range states {
+		if st.legit {
+			rep.LegitStates++
+		}
+	}
+
+	// Cycle analysis on the illegitimate-induced subgraph: an
+	// illegitimate cycle is an execution that never converges. Under
+	// the unfair criterion every such cycle is a violation; under
+	// weak/strong fairness only those strongly connected components
+	// that admit a fair run count (see Fairness).
+	if opts.Fairness == Unfair {
+		const (
+			white = 0
+			gray  = 1
+			black = 2
+		)
+		color := make([]uint8, len(states))
+		type frame struct {
+			id  int32
+			idx int
+		}
+		for start := range states {
+			if states[start].legit || color[start] != white {
+				continue
+			}
+			stack := []frame{{id: int32(start)}}
+			color[start] = gray
+			for len(stack) > 0 {
+				f := &stack[len(stack)-1]
+				if f.idx < len(states[f.id].succ) {
+					next := states[f.id].succ[f.idx]
+					f.idx++
+					if states[next].legit {
+						continue
+					}
+					switch color[next] {
+					case white:
+						color[next] = gray
+						stack = append(stack, frame{id: next})
+					case gray:
+						return rep, &ConvergenceError{Kind: "cycle", Witness: snaps[next]}
+					}
+					continue
+				}
+				color[f.id] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	} else {
+		// Tarjan SCCs restricted to illegitimate states (iterative).
+		const unvisited = -1
+		low := make([]int32, len(states))
+		disc := make([]int32, len(states))
+		onStack := make([]bool, len(states))
+		comp := make([]int32, len(states))
+		for i := range disc {
+			disc[i] = unvisited
+			comp[i] = unvisited
+		}
+		var (
+			counter int32
+			nComp   int32
+			tstack  []int32
+		)
+		type frame struct {
+			id  int32
+			idx int
+		}
+		for start := range states {
+			if states[start].legit || disc[start] != unvisited {
+				continue
+			}
+			stack := []frame{{id: int32(start)}}
+			disc[start], low[start] = counter, counter
+			counter++
+			tstack = append(tstack, int32(start))
+			onStack[start] = true
+			for len(stack) > 0 {
+				f := &stack[len(stack)-1]
+				if f.idx < len(states[f.id].succ) {
+					next := states[f.id].succ[f.idx]
+					f.idx++
+					if states[next].legit {
+						continue
+					}
+					if disc[next] == unvisited {
+						disc[next], low[next] = counter, counter
+						counter++
+						tstack = append(tstack, next)
+						onStack[next] = true
+						stack = append(stack, frame{id: next})
+					} else if onStack[next] && disc[next] < low[f.id] {
+						low[f.id] = disc[next]
+					}
+					continue
+				}
+				id := f.id
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					parent := stack[len(stack)-1].id
+					if low[id] < low[parent] {
+						low[parent] = low[id]
+					}
+				}
+				if low[id] == disc[id] {
+					for {
+						top := tstack[len(tstack)-1]
+						tstack = tstack[:len(tstack)-1]
+						onStack[top] = false
+						comp[top] = nComp
+						if top == id {
+							break
+						}
+					}
+					nComp++
+				}
+			}
+		}
+		// Per-SCC fairness analysis.
+		type pair = uint64 // node<<32 | action
+		mkPair := func(node int32, a program.ActionID) pair {
+			return uint64(uint32(node))<<32 | uint64(uint32(a))
+		}
+		type sccInfo struct {
+			states     []int32
+			allEnabled uint64 // weak: processors enabled in every state
+			executed   uint64 // weak: processors moving inside the SCC
+			enabledP   map[pair]bool
+			internalP  map[pair]bool
+			hasEdge    bool
+			init       bool
+		}
+		sccs := make([]sccInfo, nComp)
+		for id := range states {
+			if states[id].legit {
+				continue
+			}
+			s := &sccs[comp[id]]
+			if s.enabledP == nil {
+				s.enabledP = make(map[pair]bool)
+				s.internalP = make(map[pair]bool)
+			}
+			s.states = append(s.states, int32(id))
+			if !s.init {
+				s.allEnabled = states[id].enabled
+				s.init = true
+			} else {
+				s.allEnabled &= states[id].enabled
+			}
+			for i, succ := range states[id].succ {
+				p := mkPair(states[id].mover[i], states[id].act[i])
+				s.enabledP[p] = true
+				if !states[succ].legit && comp[succ] == comp[id] {
+					s.hasEdge = true
+					s.executed |= 1 << uint(states[id].mover[i])
+					s.internalP[p] = true
+				}
+			}
+		}
+		for _, s := range sccs {
+			if !s.hasEdge {
+				continue // trivial SCC, no cycle
+			}
+			bad := false
+			switch opts.Fairness {
+			case WeakFair:
+				// Every continuously enabled processor moves inside
+				// the component ⇒ a weakly fair run can stay forever.
+				bad = s.allEnabled&^s.executed == 0
+			case StrongFair:
+				// Every enabled (processor, action) move executes
+				// inside the component ⇒ a strongly fair run can
+				// stay forever. A move whose every execution leaves
+				// the component forces fair runs out.
+				bad = true
+				for p := range s.enabledP {
+					if !s.internalP[p] {
+						bad = false
+						break
+					}
+				}
+			}
+			if bad {
+				return rep, &ConvergenceError{Kind: "cycle", Witness: snaps[s.states[0]]}
+			}
+		}
+	}
+
+	// Distance-to-legitimacy: reverse BFS from the legitimate set.
+	pred := make([][]int32, len(states))
+	for id, st := range states {
+		for _, s := range st.succ {
+			pred[s] = append(pred[s], int32(id))
+		}
+	}
+	dist := make([]int, len(states))
+	for i := range dist {
+		dist[i] = -1
+	}
+	var bfs []int32
+	for id, st := range states {
+		if st.legit {
+			dist[id] = 0
+			bfs = append(bfs, int32(id))
+		}
+	}
+	for len(bfs) > 0 {
+		id := bfs[0]
+		bfs = bfs[1:]
+		for _, p := range pred[id] {
+			if dist[p] < 0 {
+				dist[p] = dist[id] + 1
+				bfs = append(bfs, p)
+				if dist[p] > rep.MaxStepsToLegit {
+					rep.MaxStepsToLegit = dist[p]
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RandomSeeds produces count randomized configurations of t (which
+// must implement program.Randomizer) plus t's current configuration.
+func RandomSeeds(t Target, count int, rng *rand.Rand) ([][]byte, error) {
+	r, ok := t.(program.Randomizer)
+	if !ok {
+		return nil, fmt.Errorf("check: protocol %q cannot be randomized", t.Name())
+	}
+	seeds := make([][]byte, 0, count+1)
+	seeds = append(seeds, t.Snapshot())
+	for i := 0; i < count; i++ {
+		r.Randomize(rng)
+		seeds = append(seeds, t.Snapshot())
+	}
+	return seeds, nil
+}

@@ -1,0 +1,237 @@
+package check
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// bitProto is a tiny configurable protocol over per-node bits used to
+// exercise the checker. Behaviour is selected by mode.
+type bitProto struct {
+	g    *graph.Graph
+	bits []byte
+	mode string // "converge", "deadlock", "livelock", "escape"
+}
+
+func newBitProto(g *graph.Graph, mode string) *bitProto {
+	return &bitProto{g: g, bits: make([]byte, g.N()), mode: mode}
+}
+
+func (p *bitProto) Name() string        { return "bits-" + p.mode }
+func (p *bitProto) Graph() *graph.Graph { return p.g }
+
+// Legitimate: all bits zero.
+func (p *bitProto) Legitimate() bool {
+	for _, b := range p.bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *bitProto) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	switch p.mode {
+	case "converge":
+		// Clear your bit whenever it is set: silent, self-stabilizing.
+		if p.bits[v] != 0 {
+			buf = append(buf, 0)
+		}
+	case "deadlock":
+		// Bits value 2 are stuck forever: terminal illegitimate states.
+		if p.bits[v] == 1 {
+			buf = append(buf, 0)
+		}
+	case "livelock":
+		// A set bit hops to the next node instead of clearing.
+		if p.bits[v] != 0 {
+			buf = append(buf, 0)
+		}
+	case "escape":
+		// Legitimate states can break: node 0 may set its bit at will.
+		if p.bits[v] != 0 {
+			buf = append(buf, 0)
+		}
+		if v == 0 && p.bits[0] == 0 {
+			buf = append(buf, 1)
+		}
+	}
+	return buf
+}
+
+func (p *bitProto) Execute(v graph.NodeID, a program.ActionID) bool {
+	switch p.mode {
+	case "converge":
+		if a != 0 || p.bits[v] == 0 {
+			return false
+		}
+		p.bits[v] = 0
+		return true
+	case "deadlock":
+		if a != 0 || p.bits[v] != 1 {
+			return false
+		}
+		p.bits[v] = 0
+		return true
+	case "livelock":
+		if a != 0 || p.bits[v] == 0 {
+			return false
+		}
+		p.bits[v] = 0
+		p.bits[(int(v)+1)%p.g.N()] = 1
+		return true
+	case "escape":
+		if a == 0 && p.bits[v] != 0 {
+			p.bits[v] = 0
+			return true
+		}
+		if a == 1 && v == 0 && p.bits[0] == 0 {
+			p.bits[0] = 1
+			return true
+		}
+	}
+	return false
+}
+
+func (p *bitProto) Snapshot() []byte {
+	out := make([]byte, len(p.bits))
+	copy(out, p.bits)
+	return out
+}
+
+func (p *bitProto) Restore(data []byte) error {
+	if len(data) != len(p.bits) {
+		return errors.New("bad snapshot")
+	}
+	copy(p.bits, data)
+	return nil
+}
+
+func (p *bitProto) Randomize(rng *rand.Rand) {
+	for i := range p.bits {
+		p.bits[i] = byte(rng.Intn(3))
+	}
+}
+
+func allSeeds(n int, values byte) [][]byte {
+	// Enumerate every configuration over {0..values-1}^n.
+	var out [][]byte
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= int(values)
+	}
+	for x := 0; x < total; x++ {
+		cfg := make([]byte, n)
+		v := x
+		for i := 0; i < n; i++ {
+			cfg[i] = byte(v % int(values))
+			v /= int(values)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+func TestVerifyAcceptsSelfStabilizingProtocol(t *testing.T) {
+	g := graph.Ring(4)
+	p := newBitProto(g, "converge")
+	rep, err := Verify(p, Options{Seeds: allSeeds(4, 2)})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.States != 16 {
+		t.Errorf("states %d, want 16", rep.States)
+	}
+	if rep.LegitStates != 1 {
+		t.Errorf("legit states %d, want 1", rep.LegitStates)
+	}
+	if rep.MaxStepsToLegit != 4 {
+		t.Errorf("max distance %d, want 4", rep.MaxStepsToLegit)
+	}
+}
+
+func TestVerifyDetectsTerminalIllegitimate(t *testing.T) {
+	g := graph.Ring(3)
+	p := newBitProto(g, "deadlock")
+	_, err := Verify(p, Options{Seeds: allSeeds(3, 3)})
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) || ce.Kind != "terminal" {
+		t.Fatalf("got %v, want terminal ConvergenceError", err)
+	}
+}
+
+func TestVerifyDetectsLivelock(t *testing.T) {
+	g := graph.Ring(3)
+	p := newBitProto(g, "livelock")
+	_, err := Verify(p, Options{Seeds: allSeeds(3, 2)})
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) || ce.Kind != "cycle" {
+		t.Fatalf("got %v, want cycle ConvergenceError", err)
+	}
+}
+
+func TestVerifyDetectsClosureViolation(t *testing.T) {
+	g := graph.Ring(3)
+	p := newBitProto(g, "escape")
+	_, err := Verify(p, Options{Seeds: allSeeds(3, 2)})
+	var ce *ClosureError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ClosureError", err)
+	}
+}
+
+func TestVerifyStateLimit(t *testing.T) {
+	g := graph.Ring(4)
+	p := newBitProto(g, "converge")
+	_, err := Verify(p, Options{Seeds: allSeeds(4, 2), MaxStates: 3})
+	if !errors.Is(err, ErrStateExplosion) {
+		t.Fatalf("got %v, want ErrStateExplosion", err)
+	}
+}
+
+func TestVerifyDefaultSeedIsCurrentConfig(t *testing.T) {
+	g := graph.Ring(3)
+	p := newBitProto(g, "converge")
+	p.bits[1] = 1
+	rep, err := Verify(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 2 { // {010, 000}
+		t.Errorf("states %d, want 2", rep.States)
+	}
+}
+
+func TestRandomSeeds(t *testing.T) {
+	g := graph.Ring(3)
+	p := newBitProto(g, "converge")
+	rng := rand.New(rand.NewSource(1))
+	seeds, err := RandomSeeds(p, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 11 {
+		t.Fatalf("got %d seeds, want 11", len(seeds))
+	}
+}
+
+// nonRandom lacks Randomize.
+type nonRandom struct{ *bitProto }
+
+func (nonRandom) Randomize() {} // different signature on purpose
+
+func TestRandomSeedsRequiresRandomizer(t *testing.T) {
+	g := graph.Ring(3)
+	p := struct {
+		program.Protocol
+		program.Legitimacy
+		program.Snapshotter
+	}{newBitProto(g, "converge"), newBitProto(g, "converge"), newBitProto(g, "converge")}
+	if _, err := RandomSeeds(p, 3, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for protocol without Randomize")
+	}
+}

@@ -1,0 +1,154 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// starveProto is a two-node protocol crafted to separate the three
+// fairness criteria. Node 0 toggles a bit forever. Node 1 has two
+// actions: a "busy" toggle enabled while node 0's bit is 1, and a
+// "fix" move (enabled while node 0's bit is 0 and the fault flag is
+// set) that clears the fault flag — the only way to reach legitimacy.
+//
+// Node 1 is enabled in every configuration and moves inside the
+// faulty cycle (via busy), so a weakly fair schedule can starve fix
+// forever; a strongly fair one cannot, because fix is enabled
+// infinitely often and every execution of it leaves the cycle. This
+// is the abstract shape of DFTNO's edge-label starvation.
+type starveProto struct {
+	b0, b1 byte
+	fault  byte
+}
+
+const (
+	actToggle0 program.ActionID = 0
+	actBusy1   program.ActionID = 1
+	actFix1    program.ActionID = 2
+)
+
+var starveGraph = graph.Path(2)
+
+func (p *starveProto) Name() string        { return "starve" }
+func (p *starveProto) Graph() *graph.Graph { return starveGraph }
+func (p *starveProto) Legitimate() bool    { return p.fault == 0 }
+
+func (p *starveProto) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	switch v {
+	case 0:
+		buf = append(buf, actToggle0)
+	case 1:
+		if p.b0 == 1 {
+			buf = append(buf, actBusy1)
+		} else if p.fault == 1 {
+			buf = append(buf, actFix1)
+		}
+	}
+	return buf
+}
+
+func (p *starveProto) Execute(v graph.NodeID, a program.ActionID) bool {
+	switch {
+	case v == 0 && a == actToggle0:
+		p.b0 ^= 1
+		return true
+	case v == 1 && a == actBusy1 && p.b0 == 1:
+		p.b1 ^= 1
+		return true
+	case v == 1 && a == actFix1 && p.b0 == 0 && p.fault == 1:
+		p.fault = 0
+		return true
+	}
+	return false
+}
+
+func (p *starveProto) Snapshot() []byte { return []byte{p.b0, p.b1, p.fault} }
+
+func (p *starveProto) Restore(data []byte) error {
+	if len(data) != 3 {
+		return errors.New("bad snapshot")
+	}
+	p.b0, p.b1, p.fault = data[0], data[1], data[2]
+	return nil
+}
+
+func allStarveSeeds() [][]byte {
+	var out [][]byte
+	for _, b0 := range []byte{0, 1} {
+		for _, b1 := range []byte{0, 1} {
+			for _, f := range []byte{0, 1} {
+				out = append(out, []byte{b0, b1, f})
+			}
+		}
+	}
+	return out
+}
+
+func TestFairnessCriteriaSeparation(t *testing.T) {
+	cases := []struct {
+		fairness Fairness
+		wantBad  bool
+	}{
+		{Unfair, true},      // the faulty cycle exists
+		{WeakFair, true},    // node 1 moves inside it via busy: weakly fair starvation
+		{StrongFair, false}, // fix is enabled i.o. and always leaves: fair runs escape
+	}
+	for _, c := range cases {
+		p := &starveProto{}
+		_, err := Verify(p, Options{Seeds: allStarveSeeds(), Fairness: c.fairness})
+		var ce *ConvergenceError
+		gotBad := errors.As(err, &ce)
+		if gotBad != c.wantBad {
+			t.Errorf("fairness=%v: violation=%v (err=%v), want violation=%v", c.fairness, gotBad, err, c.wantBad)
+		}
+		if err != nil && !gotBad {
+			t.Errorf("fairness=%v: unexpected error %v", c.fairness, err)
+		}
+	}
+}
+
+// TestWeakFairExcludesContinuouslyStarvedProcessor: when the starved
+// processor has no internal move at all (remove the busy action), the
+// weakly fair criterion already excludes the cycle.
+type starveNoBusy struct{ starveProto }
+
+func (p *starveNoBusy) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	if v == 0 {
+		return append(buf, actToggle0)
+	}
+	if p.fault == 1 {
+		return append(buf, actFix1) // enabled regardless of b0
+	}
+	return buf
+}
+
+func (p *starveNoBusy) Execute(v graph.NodeID, a program.ActionID) bool {
+	switch {
+	case v == 0 && a == actToggle0:
+		p.b0 ^= 1
+		return true
+	case v == 1 && a == actFix1 && p.fault == 1:
+		p.fault = 0
+		return true
+	}
+	return false
+}
+
+func TestWeakFairExcludesPureStarvation(t *testing.T) {
+	p := &starveNoBusy{}
+	// Unfair: bad (spin node 0 forever).
+	if _, err := Verify(p, Options{Seeds: allStarveSeeds(), Fairness: Unfair}); err == nil {
+		t.Error("unfair criterion should flag the spin cycle")
+	}
+	// Weak fairness: node 1 is continuously enabled and never moves
+	// inside the cycle, so the cycle is unfair — accepted.
+	if _, err := Verify(p, Options{Seeds: allStarveSeeds(), Fairness: WeakFair}); err != nil {
+		t.Errorf("weak fairness should accept: %v", err)
+	}
+	if _, err := Verify(p, Options{Seeds: allStarveSeeds(), Fairness: StrongFair}); err != nil {
+		t.Errorf("strong fairness should accept: %v", err)
+	}
+}

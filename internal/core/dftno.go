@@ -1,0 +1,420 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/sod"
+	"netorient/internal/token"
+)
+
+// TokenSubstrate is the contract DFTNO needs from its underlying
+// depth-first token circulation protocol: the guarded-command
+// behaviour, a legitimacy predicate, canonical snapshots, and the
+// token-layer interface (parent pointers, token location, event
+// hooks).
+type TokenSubstrate interface {
+	program.Protocol
+	program.Legitimacy
+	program.Snapshotter
+	token.Substrate
+}
+
+// ActEdgeLabel is DFTNO's own action (Algorithm 3.1.1's third rule):
+// with no token present and an inconsistent edge label, recompute
+// every label π_p[l] := (η_p − η_q) mod N. Substrate actions keep
+// their own IDs; this one is offset far above them.
+const ActEdgeLabel program.ActionID = 1 << 20
+
+// DFTNO is Algorithm 3.1.1: network orientation by depth-first token
+// circulation. The composed protocol exposes the substrate's actions
+// (whose Forward/Backtrack/round-start events atomically run the
+// paper's Nodelabel and UpdateMax macros, mirroring the paper's macro
+// expansion) plus the edge-labeling correction action.
+//
+// Per-node state beyond the substrate: η (name), Max (largest name the
+// node is aware of) and π (one label per incident edge) — 2·⌈log₂N⌉ +
+// Δ_p·⌈log₂N⌉ bits, the paper's O(Δ×log N).
+type DFTNO struct {
+	g       *graph.Graph
+	sub     TokenSubstrate
+	modulus int
+
+	eta []int
+	max []int
+	pi  [][]int
+
+	// refNames is the stable naming (DFS preorder in port order);
+	// cycle maps each substrate configuration of the legitimate
+	// circulation cycle to the Max vector the ideal execution holds
+	// there. Together they decide the legitimacy predicate
+	// L_NO = L_TC ∧ SP1 ∧ SP2 (§3.2).
+	refNames []int
+	cycle    map[string][]int
+}
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol    = (*DFTNO)(nil)
+	_ program.Legitimacy  = (*DFTNO)(nil)
+	_ program.Snapshotter = (*DFTNO)(nil)
+	_ program.Randomizer  = (*DFTNO)(nil)
+	_ program.SpaceMeter  = (*DFTNO)(nil)
+	_ program.ActionNamer = (*DFTNO)(nil)
+	_ token.Events        = (*DFTNO)(nil)
+)
+
+// NewDFTNO layers the orientation protocol over sub. modulus is N,
+// the agreed bound on the network size (0 means exactly n). The
+// substrate must be in a legitimate configuration (freshly constructed
+// substrates are); the constructor derives the reference naming by
+// running one circulation round, after which the composed system is in
+// a stabilized configuration — use Randomize or Restore for
+// adversarial starts.
+func NewDFTNO(g *graph.Graph, sub TokenSubstrate, modulus int) (*DFTNO, error) {
+	if modulus == 0 {
+		modulus = g.N()
+	}
+	if modulus < g.N() {
+		return nil, fmt.Errorf("core: modulus %d below node count %d", modulus, g.N())
+	}
+	if !sub.Legitimate() {
+		return nil, errors.New("core: token substrate must start legitimate")
+	}
+	d := &DFTNO{
+		g:       g,
+		sub:     sub,
+		modulus: modulus,
+		eta:     make([]int, g.N()),
+		max:     make([]int, g.N()),
+		pi:      make([][]int, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		d.pi[v] = make([]int, g.Degree(graph.NodeID(v)))
+	}
+	sub.SetObserver(d)
+	if err := d.record(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// record derives the reference naming and the legitimate circulation
+// cycle by driving the substrate deterministically until it revisits a
+// configuration (the steady cycle entry), then recording one full
+// cycle. The first settled round already assigns the final names.
+func (d *DFTNO) record() error {
+	limit := 40*(d.g.N()+d.g.M()) + 40
+
+	step := func() error {
+		mv, err := d.soleSubstrateMove()
+		if err != nil {
+			return err
+		}
+		if !d.sub.Execute(mv.Node, mv.Action) {
+			return fmt.Errorf("core: substrate move refused during recording")
+		}
+		return nil
+	}
+
+	// Phase 1: run until a configuration repeats — the entry point of
+	// the substrate's steady circulation cycle. By then a complete
+	// round has run, so the names are settled.
+	seen := make(map[string]bool)
+	for i := 0; ; i++ {
+		if i > 3*limit {
+			return fmt.Errorf("core: substrate %q found no steady cycle within %d moves", d.sub.Name(), 3*limit)
+		}
+		key := string(d.sub.Snapshot())
+		if seen[key] {
+			break
+		}
+		seen[key] = true
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	d.refNames = make([]int, d.g.N())
+	copy(d.refNames, d.eta)
+	for v := 0; v < d.g.N(); v++ {
+		for port, q := range d.g.Neighbors(graph.NodeID(v)) {
+			d.pi[v][port] = sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus)
+		}
+	}
+
+	// Phase 2: record the Max vector at every configuration of one
+	// full cycle.
+	d.cycle = make(map[string][]int)
+	start := string(d.sub.Snapshot())
+	for i := 0; ; i++ {
+		if i > limit {
+			return fmt.Errorf("core: substrate %q cycle exceeds %d configurations", d.sub.Name(), limit)
+		}
+		key := string(d.sub.Snapshot())
+		mx := make([]int, len(d.max))
+		copy(mx, d.max)
+		d.cycle[key] = mx
+		if err := step(); err != nil {
+			return err
+		}
+		if string(d.sub.Snapshot()) == start {
+			return nil
+		}
+	}
+}
+
+// soleSubstrateMove returns the unique enabled substrate move; the
+// legitimate circulation must be deterministic.
+func (d *DFTNO) soleSubstrateMove() (program.Move, error) {
+	var found program.Move
+	count := 0
+	var buf []program.ActionID
+	for v := 0; v < d.g.N(); v++ {
+		buf = d.sub.Enabled(graph.NodeID(v), buf[:0])
+		for _, a := range buf {
+			found = program.Move{Node: graph.NodeID(v), Action: a}
+			count++
+		}
+	}
+	if count != 1 {
+		return found, fmt.Errorf("core: substrate %q has %d enabled moves in a legitimate configuration, want 1", d.sub.Name(), count)
+	}
+	return found, nil
+}
+
+// Name implements program.Protocol.
+func (d *DFTNO) Name() string { return "dftno/" + d.sub.Name() }
+
+// Graph implements program.Protocol.
+func (d *DFTNO) Graph() *graph.Graph { return d.g }
+
+// Modulus returns N.
+func (d *DFTNO) Modulus() int { return d.modulus }
+
+// Substrate returns the underlying token layer.
+func (d *DFTNO) Substrate() TokenSubstrate { return d.sub }
+
+// Names returns a copy of the current η vector.
+func (d *DFTNO) Names() []int {
+	out := make([]int, len(d.eta))
+	copy(out, d.eta)
+	return out
+}
+
+// ReferenceNames returns a copy of the stabilized naming (the DFS
+// preorder of the network in port order).
+func (d *DFTNO) ReferenceNames() []int {
+	out := make([]int, len(d.refNames))
+	copy(out, d.refNames)
+	return out
+}
+
+// MaxOf returns node v's Max variable (exposed for tests and traces).
+func (d *DFTNO) MaxOf(v graph.NodeID) int { return d.max[v] }
+
+// Labeling exports the current orientation.
+func (d *DFTNO) Labeling() *sod.Labeling {
+	l := &sod.Labeling{
+		Modulus: d.modulus,
+		Names:   d.Names(),
+		Labels:  make([][]int, d.g.N()),
+	}
+	for v := range d.pi {
+		l.Labels[v] = make([]int, len(d.pi[v]))
+		copy(l.Labels[v], d.pi[v])
+	}
+	return l
+}
+
+// OnRootStart implements token.Events: the root names itself 0 when
+// it generates the token (Nodelabel_r).
+func (d *DFTNO) OnRootStart(r graph.NodeID) {
+	d.eta[r] = 0
+	d.max[r] = 0
+}
+
+// OnForward implements token.Events: Nodelabel_p — consult the parent
+// for the current maximum and take the next name.
+func (d *DFTNO) OnForward(v, parent graph.NodeID) {
+	d.eta[v] = d.max[parent] + 1
+	d.max[v] = d.eta[v]
+}
+
+// OnBacktrack implements token.Events: UpdateMax_p — adopt the
+// returning descendant's maximum.
+func (d *DFTNO) OnBacktrack(v, child graph.NodeID) {
+	d.max[v] = d.max[child]
+}
+
+// invalidEdgeLabel is the paper's InvalidEdgelabel(p) predicate.
+func (d *DFTNO) invalidEdgeLabel(v graph.NodeID) bool {
+	for port, q := range d.g.Neighbors(v) {
+		if d.pi[v][port] != sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled implements program.Protocol: the substrate's actions plus
+// the edge-labeling rule ¬Forward ∧ ¬Backtrack ∧ InvalidEdgelabel.
+func (d *DFTNO) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	buf = d.sub.Enabled(v, buf)
+	if !d.sub.HasToken(v) && d.invalidEdgeLabel(v) {
+		buf = append(buf, ActEdgeLabel)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol.
+func (d *DFTNO) Execute(v graph.NodeID, a program.ActionID) bool {
+	if a == ActEdgeLabel {
+		if d.sub.HasToken(v) || !d.invalidEdgeLabel(v) {
+			return false
+		}
+		for port, q := range d.g.Neighbors(v) {
+			d.pi[v][port] = sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus)
+		}
+		return true
+	}
+	return d.sub.Execute(v, a)
+}
+
+// ActionName implements program.ActionNamer.
+func (d *DFTNO) ActionName(a program.ActionID) string {
+	if a == ActEdgeLabel {
+		return "EdgeLabel"
+	}
+	return program.ActionName(d.sub, a)
+}
+
+// Legitimate implements program.Legitimacy: L_NO = L_TC ∧ SP1 ∧ SP2.
+// Concretely, the substrate must be on its legitimate circulation
+// cycle, the names must equal the reference naming, the Max vector
+// must match what the ideal execution holds at this exact substrate
+// configuration, and every edge label must satisfy SP2 — precisely the
+// configurations the ideal system visits forever after stabilization.
+func (d *DFTNO) Legitimate() bool {
+	if !d.sub.Legitimate() {
+		return false
+	}
+	wantMax, ok := d.cycle[string(d.sub.Snapshot())]
+	if !ok {
+		return false
+	}
+	for v := 0; v < d.g.N(); v++ {
+		if d.eta[v] != d.refNames[v] || d.max[v] != wantMax[v] {
+			return false
+		}
+		if d.invalidEdgeLabel(graph.NodeID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements program.Snapshotter: the substrate snapshot
+// followed by η, Max and π.
+func (d *DFTNO) Snapshot() []byte {
+	sub := d.sub.Snapshot()
+	buf := make([]byte, 0, len(sub)+10+12*d.g.N())
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(sub)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, sub...)
+	put := func(x int) {
+		n := binary.PutVarint(tmp[:], int64(x))
+		buf = append(buf, tmp[:n]...)
+	}
+	for v := 0; v < d.g.N(); v++ {
+		put(d.eta[v])
+		put(d.max[v])
+		for _, l := range d.pi[v] {
+			put(l)
+		}
+	}
+	return buf
+}
+
+// Restore implements program.Snapshotter.
+func (d *DFTNO) Restore(data []byte) error {
+	subLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < subLen {
+		return errors.New("core: malformed dftno snapshot header")
+	}
+	if err := d.sub.Restore(data[n : n+int(subLen)]); err != nil {
+		return fmt.Errorf("core: restore substrate: %w", err)
+	}
+	rest := data[n+int(subLen):]
+	get := func() (int, error) {
+		x, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, errors.New("core: truncated dftno snapshot")
+		}
+		rest = rest[n:]
+		return int(x), nil
+	}
+	for v := 0; v < d.g.N(); v++ {
+		var err error
+		if d.eta[v], err = get(); err != nil {
+			return err
+		}
+		if d.max[v], err = get(); err != nil {
+			return err
+		}
+		for port := range d.pi[v] {
+			if d.pi[v][port], err = get(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return errors.New("core: trailing dftno snapshot bytes")
+	}
+	return nil
+}
+
+// CorruptNode implements program.NodeCorruptor: v's orientation
+// variables and its substrate state take arbitrary values of their
+// domains (η, Max ∈ 0..N−1 and π entries ∈ 0..N−1, per §3.2.3).
+// Out-of-domain values also heal — every variable is overwritten
+// within one clean round — which TestDFTNOHealsOutOfDomainValues
+// exercises separately.
+func (d *DFTNO) CorruptNode(v graph.NodeID, rng *rand.Rand) {
+	if c, ok := d.sub.(program.NodeCorruptor); ok {
+		c.CorruptNode(v, rng)
+	}
+	d.eta[v] = rng.Intn(d.modulus)
+	d.max[v] = rng.Intn(d.modulus)
+	for port := range d.pi[v] {
+		d.pi[v][port] = rng.Intn(d.modulus)
+	}
+}
+
+// Randomize implements program.Randomizer: the substrate and every
+// orientation variable take arbitrary values of their domains.
+func (d *DFTNO) Randomize(rng *rand.Rand) {
+	for v := 0; v < d.g.N(); v++ {
+		d.CorruptNode(graph.NodeID(v), rng)
+	}
+}
+
+// OrientationBits returns the orientation layer's own footprint at v:
+// η and Max (⌈log₂N⌉ each) plus Δ_v edge labels (⌈log₂N⌉ each).
+func (d *DFTNO) OrientationBits(v graph.NodeID) int {
+	lg := program.Log2Ceil(d.modulus)
+	return 2*lg + d.g.Degree(v)*lg
+}
+
+// StateBits implements program.SpaceMeter: orientation plus substrate.
+func (d *DFTNO) StateBits(v graph.NodeID) int {
+	bits := d.OrientationBits(v)
+	if m, ok := d.sub.(program.SpaceMeter); ok {
+		bits += m.StateBits(v)
+	}
+	return bits
+}

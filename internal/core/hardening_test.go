@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+// TestDFTNOHealsOutOfDomainValues injects values far outside the
+// variables' domains (a stronger corruption than the paper's
+// arbitrary-state model, where a log N-bit variable physically cannot
+// exceed its domain) and verifies convergence anyway: every
+// orientation variable is overwritten within one clean round.
+func TestDFTNOHealsOutOfDomainValues(t *testing.T) {
+	g := graph.Grid(3, 3)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		d.eta[v] = 1 << 40
+		d.max[v] = -(1 << 40)
+		for port := range d.pi[v] {
+			d.pi[v][port] = 1<<40 + v
+		}
+	}
+	sys := program.NewSystem(d, daemon.NewCentral(1))
+	res, err := sys.RunUntilLegitimate(1 << 22)
+	if err != nil || !res.Converged {
+		t.Fatalf("no convergence from out-of-domain values: %v %+v", err, res)
+	}
+	if err := d.Labeling().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSTNOHealsOutOfDomainValues is the STNO counterpart.
+func TestSTNOHealsOutOfDomainValues(t *testing.T) {
+	g := graph.Grid(3, 3)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		s.weight[v] = -(1 << 40)
+		s.eta[v] = 1 << 40
+		for port := range s.start[v] {
+			s.start[v][port] = -(1 << 30)
+		}
+		for port := range s.pi[v] {
+			s.pi[v][port] = 1 << 30
+		}
+	}
+	sys := program.NewSystem(s, daemon.NewCentral(2))
+	res, err := sys.RunUntilLegitimate(1 << 22)
+	if err != nil || !res.Converged {
+		t.Fatalf("no convergence from out-of-domain values: %v %+v", err, res)
+	}
+	if err := s.Labeling().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsGarbageBytes feeds random byte strings to the
+// Restore implementations: they must either reject them or accept
+// them without panicking, never crash.
+func TestRestoreRejectsGarbageBytes(t *testing.T) {
+	g := graph.Ring(5)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeSub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSTNO(g, treeSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		// Restoring garbage either errors or yields *some* state; it
+		// must never panic. (quick.Check turns panics into failures.)
+		_ = d.Restore(data)
+		_ = s.Restore(data)
+		_ = sub.Restore(data)
+		_ = treeSub.Restore(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvergencePropertyRandomGraphs is the umbrella property test:
+// for random graphs, random corruption and random daemon seeds, both
+// stacks converge and produce the same deterministic naming as a
+// fresh construction.
+func TestConvergencePropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 3 + int(nRaw%10)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, int(extraRaw%8), rng)
+
+		sub, err := token.NewCirculator(g, 0)
+		if err != nil {
+			return false
+		}
+		d, err := NewDFTNO(g, sub, 0)
+		if err != nil {
+			return false
+		}
+		ref := d.ReferenceNames()
+		d.Randomize(rng)
+		sys := program.NewSystem(d, daemon.NewCentral(seed))
+		res, err := sys.RunUntilLegitimate(int64(5000 * (g.N() + g.M())))
+		if err != nil || !res.Converged {
+			return false
+		}
+		for v, name := range d.Names() {
+			if name != ref[v] {
+				return false
+			}
+		}
+		return d.Labeling().Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

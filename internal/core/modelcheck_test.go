@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/check"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+// TestDFTNOModelCheck machine-verifies self-stabilization of the full
+// DFTNO stack (orientation + token circulation) on small graphs: from
+// randomized seeds, the whole reachable configuration space is
+// explored under the central daemon and checked for convergence and
+// closure — the mechanical counterpart of Theorem 3.2.3.
+func TestDFTNOModelCheck(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path3":    graph.Path(3),
+		"triangle": graph.Complete(3),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			sub, err := token.NewCirculator(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := NewDFTNO(g, sub, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			seeds, err := check.RandomSeeds(d, 25, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// DFTNO's daemon is weakly fair (§3.1 / Chapter 5): the
+			// unfair criterion is genuinely violated — the edge-label
+			// move can be starved forever by the circulating token.
+			rep, err := check.Verify(d, check.Options{Seeds: seeds, MaxStates: 3_000_000, Fairness: check.StrongFair})
+			if err != nil {
+				t.Fatalf("Theorem 3.2.3 violated on %s: %v", name, err)
+			}
+			if rep.LegitStates == 0 {
+				t.Fatal("no legitimate configuration reachable")
+			}
+			t.Logf("%s: %d states (%d legitimate), %d transitions, worst distance %d",
+				name, rep.States, rep.LegitStates, rep.Transitions, rep.MaxStepsToLegit)
+		})
+	}
+}
+
+// TestSTNOModelCheckOverOracle machine-verifies the orientation layer
+// of Theorem 4.2.3 in the paper's own proof structure — "after the
+// spanning tree protocol stabilizes" — by fixing a legitimate tree
+// substrate and exhaustively exploring the orientation variables from
+// randomized seeds. (The composed stack multiplies every interleaving
+// of tree corrections into the space; TestSTNOModelCheckComposed
+// covers it exhaustively on the smallest network.)
+func TestSTNOModelCheckOverOracle(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path3":    graph.Path(3),
+		"triangle": graph.Complete(3),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			sub, err := spantree.NewBFSOracle(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSTNO(g, sub, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(10))
+			seeds, err := check.RandomSeeds(s, 25, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := check.Verify(s, check.Options{Seeds: seeds, MaxStates: 4_000_000, Fairness: check.StrongFair})
+			if err != nil {
+				t.Fatalf("Theorem 4.2.3 violated on %s: %v", name, err)
+			}
+			if rep.LegitStates == 0 {
+				t.Fatal("no legitimate configuration reachable")
+			}
+			t.Logf("%s: %d states (%d legitimate), %d transitions, worst distance %d",
+				name, rep.States, rep.LegitStates, rep.Transitions, rep.MaxStepsToLegit)
+		})
+	}
+}
+
+// TestSTNOModelCheckComposed explores the full STNO-over-BFS-tree
+// stack exhaustively on the smallest non-trivial network.
+func TestSTNOModelCheckComposed(t *testing.T) {
+	g := graph.Path(2)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	seeds, err := check.RandomSeeds(s, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := check.Verify(s, check.Options{Seeds: seeds, MaxStates: 2_000_000, Fairness: check.StrongFair})
+	if err != nil {
+		t.Fatalf("Theorem 4.2.3 violated: %v", err)
+	}
+	t.Logf("path2 composed: %d states (%d legitimate), worst distance %d",
+		rep.States, rep.LegitStates, rep.MaxStepsToLegit)
+}
+
+// TestProtocolContracts runs the generic Enabled/Execute/Snapshot
+// contract checker over every protocol in the library.
+func TestProtocolContracts(t *testing.T) {
+	g := graph.PaperChordalExample()
+	rng := rand.New(rand.NewSource(4))
+
+	tok, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := spantree.NewDFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tokSub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dftno, err := NewDFTNO(g, tokSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfsSub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stno, err := NewSTNO(g, bfsSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		proto program.Protocol
+		space program.ActionID
+	}{
+		{tok, 8},
+		{bfs, 3},
+		{dfs, 3},
+		{dftno, 8}, // substrate ids; ActEdgeLabel probed separately below
+		{stno, 3},
+	}
+	for _, c := range cases {
+		if err := program.CheckContract(c.proto, c.space, 60, rng); err != nil {
+			t.Errorf("%s: %v", c.proto.Name(), err)
+		}
+	}
+	// The orientation layers' own high-offset actions.
+	if err := program.CheckContract(dftno, ActEdgeLabel, 4, rng); err != nil {
+		t.Errorf("dftno edge action: %v", err)
+	}
+	if err := program.CheckContract(stno, ActSTNOEdge, 4, rng); err != nil {
+		t.Errorf("stno own actions: %v", err)
+	}
+}

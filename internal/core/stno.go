@@ -1,0 +1,403 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/sod"
+	"netorient/internal/spantree"
+)
+
+// TreeSubstrate is the contract STNO needs from its underlying
+// spanning-tree protocol.
+type TreeSubstrate interface {
+	program.Protocol
+	spantree.Substrate
+}
+
+// STNO's own actions (Algorithm 4.1.2). The paper writes the rules
+// three times — for the root (R*), internal (I*) and leaf (L*)
+// processors; the roles emerge here from the substrate's parent
+// pointers, so each rule is stated once with identical semantics
+// (leaves have no children, so their expected weight is 1; the root
+// has no parent, so its expected name is 0).
+const (
+	// ActWeight is RW/IW/LW: Weight_p := 1 + Σ_{q∈D_p} Weight_q.
+	ActWeight program.ActionID = 1<<20 + iota
+	// ActName is RN/IN/LN plus the Distribute macro: take the name
+	// the parent allocated (the root takes 0) and carve the remaining
+	// range into per-child sub-ranges by weight.
+	ActName
+	// ActSTNOEdge is RE/IE/LE: recompute every incident edge label —
+	// tree and non-tree edges alike.
+	ActSTNOEdge
+)
+
+// STNO is Algorithm 4.1.2: network orientation over a spanning tree.
+// Weights flow bottom-up (O(h) rounds), name ranges flow top-down
+// (O(h) rounds), and every node then labels all incident edges — tree
+// and non-tree — with the chordal labels of SP2.
+//
+// Per-node state beyond the substrate: Weight and η (⌈log₂N⌉ bits
+// each) plus the Start array and π (Δ_p·⌈log₂N⌉ bits each) — the
+// O(Δ×log N) of §4.2.3, and the source of the extra O(Δ×log N) the
+// paper charges STNO compared to DFTNO in Chapter 5.
+type STNO struct {
+	g       *graph.Graph
+	sub     TreeSubstrate
+	modulus int
+
+	weight []int
+	eta    []int
+	start  [][]int // per node, per port; meaningful on child ports, 0 elsewhere
+	pi     [][]int
+
+	childBuf []graph.NodeID
+}
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol    = (*STNO)(nil)
+	_ program.Legitimacy  = (*STNO)(nil)
+	_ program.Snapshotter = (*STNO)(nil)
+	_ program.Randomizer  = (*STNO)(nil)
+	_ program.SpaceMeter  = (*STNO)(nil)
+	_ program.ActionNamer = (*STNO)(nil)
+)
+
+// NewSTNO layers the orientation protocol over sub. modulus is N (0
+// means exactly n). The composed protocol starts with zeroed
+// orientation variables; it is self-stabilizing, so any start works —
+// use Randomize for adversarial ones.
+func NewSTNO(g *graph.Graph, sub TreeSubstrate, modulus int) (*STNO, error) {
+	if modulus == 0 {
+		modulus = g.N()
+	}
+	if modulus < g.N() {
+		return nil, fmt.Errorf("core: modulus %d below node count %d", modulus, g.N())
+	}
+	s := &STNO{
+		g:       g,
+		sub:     sub,
+		modulus: modulus,
+		weight:  make([]int, g.N()),
+		eta:     make([]int, g.N()),
+		start:   make([][]int, g.N()),
+		pi:      make([][]int, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(graph.NodeID(v))
+		s.start[v] = make([]int, deg)
+		s.pi[v] = make([]int, deg)
+	}
+	return s, nil
+}
+
+// Name implements program.Protocol.
+func (s *STNO) Name() string { return "stno/" + s.sub.Name() }
+
+// Graph implements program.Protocol.
+func (s *STNO) Graph() *graph.Graph { return s.g }
+
+// Modulus returns N.
+func (s *STNO) Modulus() int { return s.modulus }
+
+// Substrate returns the underlying tree layer.
+func (s *STNO) Substrate() TreeSubstrate { return s.sub }
+
+// Names returns a copy of the current η vector.
+func (s *STNO) Names() []int {
+	out := make([]int, len(s.eta))
+	copy(out, s.eta)
+	return out
+}
+
+// WeightOf returns node v's Weight variable.
+func (s *STNO) WeightOf(v graph.NodeID) int { return s.weight[v] }
+
+// Labeling exports the current orientation.
+func (s *STNO) Labeling() *sod.Labeling {
+	l := &sod.Labeling{
+		Modulus: s.modulus,
+		Names:   s.Names(),
+		Labels:  make([][]int, s.g.N()),
+	}
+	for v := range s.pi {
+		l.Labels[v] = make([]int, len(s.pi[v]))
+		copy(l.Labels[v], s.pi[v])
+	}
+	return l
+}
+
+// children returns D_v in port order, reusing the internal buffer.
+func (s *STNO) children(v graph.NodeID) []graph.NodeID {
+	s.childBuf = spantree.Children(s.g, s.sub, v, s.childBuf[:0])
+	return s.childBuf
+}
+
+// expectedWeight is CalcWeight: 1 + Σ_{q∈D_v} Weight_q (1 for leaves).
+func (s *STNO) expectedWeight(v graph.NodeID) int {
+	w := 1
+	for _, q := range s.children(v) {
+		w += s.weight[q]
+	}
+	return w
+}
+
+// expectedEta returns the name v's parent currently allocates to it
+// (Start_{A_v}[v]); ok is false when v is not the root and has no
+// valid parent. The root's name is 0.
+func (s *STNO) expectedEta(v graph.NodeID) (int, bool) {
+	if v == s.sub.Root() {
+		return 0, true
+	}
+	p := s.sub.Parent(v)
+	if p == graph.None {
+		return 0, false
+	}
+	port, ok := s.g.PortOf(p, v)
+	if !ok {
+		return 0, false
+	}
+	return s.start[p][port], true
+}
+
+// wantStart computes the Distribute macro's target Start array for v:
+// given := η_v; each child q (in port order) receives Start_v[q] :=
+// given+1 and given advances by Weight_q; non-child entries are zero.
+func (s *STNO) wantStart(v graph.NodeID, out []int) []int {
+	out = out[:0]
+	given := s.eta[v]
+	for _, q := range s.g.Neighbors(v) {
+		if s.sub.Parent(q) == v {
+			out = append(out, given+1)
+			given += s.weight[q]
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// nameInvalid is InvalidNodelabel ∨ a stale Start array.
+func (s *STNO) nameInvalid(v graph.NodeID) bool {
+	if want, ok := s.expectedEta(v); ok && s.eta[v] != want {
+		return true
+	}
+	want := s.wantStart(v, make([]int, 0, s.g.Degree(v)))
+	for port, w := range want {
+		if s.start[v][port] != w {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidEdgeLabel is InvalidEdgelabel(p).
+func (s *STNO) invalidEdgeLabel(v graph.NodeID) bool {
+	for port, q := range s.g.Neighbors(v) {
+		if s.pi[v][port] != sod.ChordalLabel(s.eta[v], s.eta[q], s.modulus) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled implements program.Protocol.
+func (s *STNO) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	buf = s.sub.Enabled(v, buf)
+	if s.weight[v] != s.expectedWeight(v) {
+		buf = append(buf, ActWeight)
+	}
+	if s.nameInvalid(v) {
+		buf = append(buf, ActName)
+	}
+	if s.invalidEdgeLabel(v) {
+		buf = append(buf, ActSTNOEdge)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol.
+func (s *STNO) Execute(v graph.NodeID, a program.ActionID) bool {
+	switch a {
+	case ActWeight:
+		w := s.expectedWeight(v)
+		if s.weight[v] == w {
+			return false
+		}
+		s.weight[v] = w
+		return true
+	case ActName:
+		if !s.nameInvalid(v) {
+			return false
+		}
+		if want, ok := s.expectedEta(v); ok {
+			s.eta[v] = want
+		}
+		s.start[v] = s.wantStart(v, s.start[v][:0])
+		return true
+	case ActSTNOEdge:
+		if !s.invalidEdgeLabel(v) {
+			return false
+		}
+		for port, q := range s.g.Neighbors(v) {
+			s.pi[v][port] = sod.ChordalLabel(s.eta[v], s.eta[q], s.modulus)
+		}
+		return true
+	default:
+		return s.sub.Execute(v, a)
+	}
+}
+
+// ActionName implements program.ActionNamer.
+func (s *STNO) ActionName(a program.ActionID) string {
+	switch a {
+	case ActWeight:
+		return "CalcWeight"
+	case ActName:
+		return "NameAndDistribute"
+	case ActSTNOEdge:
+		return "EdgeLabel"
+	}
+	return program.ActionName(s.sub, a)
+}
+
+// Legitimate implements program.Legitimacy: L_NO = L_ST ∧ SP1 ∧ SP2.
+// STNO is silent, so legitimacy is exactly "the substrate is stable
+// and no orientation action is enabled": on a stable tree the weight
+// equations force the true subtree sizes, the range distribution then
+// forces the preorder naming (SP1), and the label equations force SP2.
+func (s *STNO) Legitimate() bool {
+	if !s.sub.Stable() {
+		return false
+	}
+	for v := 0; v < s.g.N(); v++ {
+		id := graph.NodeID(v)
+		if s.weight[v] != s.expectedWeight(id) || s.nameInvalid(id) || s.invalidEdgeLabel(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements program.Snapshotter: the substrate snapshot (if
+// it supports snapshots) followed by Weight, η, Start and π.
+func (s *STNO) Snapshot() []byte {
+	var sub []byte
+	if sn, ok := s.sub.(program.Snapshotter); ok {
+		sub = sn.Snapshot()
+	}
+	buf := make([]byte, 0, len(sub)+16*s.g.N())
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(sub)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, sub...)
+	put := func(x int) {
+		n := binary.PutVarint(tmp[:], int64(x))
+		buf = append(buf, tmp[:n]...)
+	}
+	for v := 0; v < s.g.N(); v++ {
+		put(s.weight[v])
+		put(s.eta[v])
+		for _, x := range s.start[v] {
+			put(x)
+		}
+		for _, x := range s.pi[v] {
+			put(x)
+		}
+	}
+	return buf
+}
+
+// Restore implements program.Snapshotter.
+func (s *STNO) Restore(data []byte) error {
+	subLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < subLen {
+		return errors.New("core: malformed stno snapshot header")
+	}
+	if sn, ok := s.sub.(program.Snapshotter); ok {
+		if err := sn.Restore(data[n : n+int(subLen)]); err != nil {
+			return fmt.Errorf("core: restore substrate: %w", err)
+		}
+	} else if subLen != 0 {
+		return errors.New("core: snapshot has substrate bytes but substrate cannot restore")
+	}
+	rest := data[n+int(subLen):]
+	get := func() (int, error) {
+		x, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, errors.New("core: truncated stno snapshot")
+		}
+		rest = rest[n:]
+		return int(x), nil
+	}
+	for v := 0; v < s.g.N(); v++ {
+		var err error
+		if s.weight[v], err = get(); err != nil {
+			return err
+		}
+		if s.eta[v], err = get(); err != nil {
+			return err
+		}
+		for port := range s.start[v] {
+			if s.start[v][port], err = get(); err != nil {
+				return err
+			}
+		}
+		for port := range s.pi[v] {
+			if s.pi[v][port], err = get(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return errors.New("core: trailing stno snapshot bytes")
+	}
+	return nil
+}
+
+// CorruptNode implements program.NodeCorruptor: v's variables take
+// arbitrary values of their domains (Weight ∈ 1..N, η ∈ 0..N−1,
+// Start and π entries ∈ 0..N−1, per Algorithm 4.1.2's declarations).
+func (s *STNO) CorruptNode(v graph.NodeID, rng *rand.Rand) {
+	if c, ok := s.sub.(program.NodeCorruptor); ok {
+		c.CorruptNode(v, rng)
+	}
+	s.weight[v] = 1 + rng.Intn(s.modulus)
+	s.eta[v] = rng.Intn(s.modulus)
+	for port := range s.start[v] {
+		s.start[v][port] = rng.Intn(s.modulus)
+	}
+	for port := range s.pi[v] {
+		s.pi[v][port] = rng.Intn(s.modulus)
+	}
+}
+
+// Randomize implements program.Randomizer.
+func (s *STNO) Randomize(rng *rand.Rand) {
+	for v := 0; v < s.g.N(); v++ {
+		s.CorruptNode(graph.NodeID(v), rng)
+	}
+}
+
+// OrientationBits returns the orientation layer's own footprint at v:
+// Weight and η (⌈log₂N⌉ each) plus the Start array and π
+// (Δ_v·⌈log₂N⌉ each).
+func (s *STNO) OrientationBits(v graph.NodeID) int {
+	lg := program.Log2Ceil(s.modulus)
+	return 2*lg + 2*s.g.Degree(v)*lg
+}
+
+// StateBits implements program.SpaceMeter: orientation plus substrate.
+func (s *STNO) StateBits(v graph.NodeID) int {
+	bits := s.OrientationBits(v)
+	if m, ok := s.sub.(program.SpaceMeter); ok {
+		bits += m.StateBits(v)
+	}
+	return bits
+}

@@ -1,0 +1,198 @@
+// Package daemon provides the schedulers of the paper's execution
+// model: the central daemon (one processor per step), the distributed
+// daemon (an arbitrary non-empty subset per step), the synchronous
+// daemon (every enabled processor per step), a round-robin weakly-fair
+// daemon, and an adversarial daemon driven by a caller-supplied policy.
+//
+// All randomized daemons draw exclusively from an injected seed, so
+// every experiment is reproducible.
+package daemon
+
+import (
+	"math/rand"
+
+	"netorient/internal/program"
+)
+
+// Compile-time interface compliance checks.
+var (
+	_ program.Daemon = (*Central)(nil)
+	_ program.Daemon = (*Synchronous)(nil)
+	_ program.Daemon = (*Distributed)(nil)
+	_ program.Daemon = (*RoundRobin)(nil)
+	_ program.Daemon = (*Deterministic)(nil)
+	_ program.Daemon = (*Adversarial)(nil)
+)
+
+// Central activates exactly one enabled processor per step, chosen
+// uniformly at random, executing one of its enabled actions uniformly
+// at random. Randomized central scheduling is weakly fair with
+// probability 1.
+type Central struct {
+	rng *rand.Rand
+}
+
+// NewCentral returns a Central daemon seeded with seed.
+func NewCentral(seed int64) *Central {
+	return &Central{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements program.Daemon.
+func (d *Central) Name() string { return "central" }
+
+// Select implements program.Daemon.
+func (d *Central) Select(cands []program.Candidate) []program.Move {
+	c := cands[d.rng.Intn(len(cands))]
+	return []program.Move{{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]}}
+}
+
+// Synchronous activates every enabled processor in each step. The
+// execution order within the step is randomized; actions are chosen
+// uniformly among each processor's enabled actions.
+type Synchronous struct {
+	rng *rand.Rand
+}
+
+// NewSynchronous returns a Synchronous daemon seeded with seed.
+func NewSynchronous(seed int64) *Synchronous {
+	return &Synchronous{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements program.Daemon.
+func (d *Synchronous) Name() string { return "synchronous" }
+
+// Select implements program.Daemon.
+func (d *Synchronous) Select(cands []program.Candidate) []program.Move {
+	moves := make([]program.Move, len(cands))
+	for i, c := range cands {
+		moves[i] = program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]}
+	}
+	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+	return moves
+}
+
+// Distributed activates an arbitrary non-empty random subset of the
+// enabled processors per step — the paper's distributed daemon. Each
+// enabled processor is included independently with probability P
+// (default 0.5); if the coin flips exclude everyone, one processor is
+// chosen uniformly so the step is productive.
+type Distributed struct {
+	rng *rand.Rand
+	// P is the per-processor inclusion probability, (0,1].
+	P float64
+}
+
+// NewDistributed returns a Distributed daemon with inclusion
+// probability p, seeded with seed. p outside (0,1] is clamped to 0.5.
+func NewDistributed(seed int64, p float64) *Distributed {
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	return &Distributed{rng: rand.New(rand.NewSource(seed)), P: p}
+}
+
+// Name implements program.Daemon.
+func (d *Distributed) Name() string { return "distributed" }
+
+// Select implements program.Daemon.
+func (d *Distributed) Select(cands []program.Candidate) []program.Move {
+	moves := make([]program.Move, 0, len(cands))
+	for _, c := range cands {
+		if d.rng.Float64() < d.P {
+			moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+		}
+	}
+	if len(moves) == 0 {
+		c := cands[d.rng.Intn(len(cands))]
+		moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+	}
+	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+	return moves
+}
+
+// RoundRobin activates one processor per step, cycling through node
+// ids and picking the next enabled one — a deterministic weakly-fair
+// central daemon: a continuously enabled processor is activated within
+// n steps.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a RoundRobin daemon starting at node 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements program.Daemon.
+func (d *RoundRobin) Name() string { return "round-robin" }
+
+// Select implements program.Daemon.
+func (d *RoundRobin) Select(cands []program.Candidate) []program.Move {
+	best := cands[0]
+	bestKey := rrKey(int(best.Node), d.next)
+	for _, c := range cands[1:] {
+		if k := rrKey(int(c.Node), d.next); k < bestKey {
+			best, bestKey = c, k
+		}
+	}
+	d.next = int(best.Node) + 1
+	return []program.Move{{Node: best.Node, Action: best.Actions[0]}}
+}
+
+// rrKey orders node ids cyclically starting at from.
+func rrKey(node, from int) int {
+	const large = 1 << 30
+	if node >= from {
+		return node - from
+	}
+	return node - from + large
+}
+
+// Deterministic activates the lowest-id enabled processor and its
+// lowest-id enabled action — handy for reproducing exact traces such
+// as the paper's Figure 3.1.1. It is unfair in general; use it only
+// for protocols whose enabled set is a singleton in legitimate
+// configurations (token circulation) or for bounded traces.
+type Deterministic struct{}
+
+// NewDeterministic returns a Deterministic daemon.
+func NewDeterministic() *Deterministic { return &Deterministic{} }
+
+// Name implements program.Daemon.
+func (d *Deterministic) Name() string { return "deterministic" }
+
+// Select implements program.Daemon.
+func (d *Deterministic) Select(cands []program.Candidate) []program.Move {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Node < best.Node {
+			best = c
+		}
+	}
+	a := best.Actions[0]
+	for _, x := range best.Actions[1:] {
+		if x < a {
+			a = x
+		}
+	}
+	return []program.Move{{Node: best.Node, Action: a}}
+}
+
+// Adversarial delegates selection to a caller-supplied policy,
+// enabling worst-case schedules in tests (e.g. starving a region for
+// as long as fairness permits).
+type Adversarial struct {
+	Policy func(cands []program.Candidate) []program.Move
+	name   string
+}
+
+// NewAdversarial wraps policy under the given display name.
+func NewAdversarial(name string, policy func([]program.Candidate) []program.Move) *Adversarial {
+	return &Adversarial{Policy: policy, name: name}
+}
+
+// Name implements program.Daemon.
+func (d *Adversarial) Name() string { return "adversarial:" + d.name }
+
+// Select implements program.Daemon.
+func (d *Adversarial) Select(cands []program.Candidate) []program.Move {
+	return d.Policy(cands)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/trace"
+)
+
+// T7Daemons is the scheduling-model ablation: the same randomized
+// stacks are stabilized under the central, distributed and synchronous
+// daemons. Self-stabilization holds under all of them (the paper
+// assumes a weakly fair daemon for DFTNO's substrate and an unfair one
+// for STNO's); the cost in rounds shifts with the daemon's
+// parallelism.
+func T7Daemons(cfg Config) (*trace.Table, error) {
+	g := graph.Grid(4, 4)
+	if cfg.Quick {
+		g = graph.Grid(3, 3)
+	}
+	trials := cfg.trials(10)
+	daemons := []struct {
+		name string
+		mk   func(seed int64) program.Daemon
+	}{
+		{"central", func(s int64) program.Daemon { return daemon.NewCentral(s) }},
+		{"distributed(p=.5)", func(s int64) program.Daemon { return daemon.NewDistributed(s, 0.5) }},
+		{"synchronous", func(s int64) program.Daemon { return daemon.NewSynchronous(s) }},
+	}
+	tb := trace.NewTable(
+		fmt.Sprintf("T7 (ablation) — stabilization cost from random configurations on %s, by daemon (median over %d trials)", g, trials),
+		"protocol", "daemon", "median moves", "median rounds")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type stack struct {
+		name  string
+		build func() (program.Protocol, error)
+	}
+	stacks := []stack{
+		{"dftno", func() (program.Protocol, error) { return newDFTNO(g, 0) }},
+		{"stno", func() (program.Protocol, error) { return newSTNO(g, 0) }},
+	}
+	for _, st := range stacks {
+		p, err := st.build()
+		if err != nil {
+			return nil, err
+		}
+		for _, dm := range daemons {
+			var moves, rounds []int64
+			for trial := 0; trial < trials; trial++ {
+				res, err := stabilizeFrom(p, rng, dm.mk(cfg.Seed+int64(trial)), stepBudget(g))
+				if err != nil {
+					return nil, fmt.Errorf("T7: %s under %s: %w", st.name, dm.name, err)
+				}
+				moves = append(moves, res.Moves)
+				rounds = append(rounds, res.Rounds)
+			}
+			tb.AddRow(st.name, dm.name, medianInt64(moves), medianInt64(rounds))
+		}
+	}
+	return tb, nil
+}
+
+// T8Orderings is the ψ-ordering ablation of §2.2: the chordal labeling
+// depends on the cyclic ordering ψ induced by the naming, which in
+// turn depends on each node's local port order. Randomly permuting
+// port orders yields different namings — every one of them a valid
+// chordal sense of direction.
+func T8Orderings(cfg Config) (*trace.Table, error) {
+	base := graph.Grid(3, 3)
+	trials := cfg.trials(8)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb := trace.NewTable(
+		"T8 (ablation, §2.2) — different local ψ port orders ⇒ different namings, all valid chordal labelings",
+		"port order", "names of nodes 0..8", "valid", "differs from identity order")
+	var refNames []int
+	for trial := 0; trial < trials; trial++ {
+		g := base
+		label := "identity"
+		if trial > 0 {
+			perm := make([][]int, base.N())
+			for v := 0; v < base.N(); v++ {
+				perm[v] = rng.Perm(base.Degree(graph.NodeID(v)))
+			}
+			var err error
+			g, err = base.Reorder(perm)
+			if err != nil {
+				return nil, err
+			}
+			label = fmt.Sprintf("shuffle#%d", trial)
+		}
+		d, err := newDFTNO(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		l := d.Labeling()
+		valid := l.Validate(g) == nil
+		if !valid {
+			return nil, fmt.Errorf("T8: %s produced an invalid labeling", label)
+		}
+		if trial == 0 {
+			refNames = l.Names
+		}
+		differs := false
+		for v := range l.Names {
+			if l.Names[v] != refNames[v] {
+				differs = true
+				break
+			}
+		}
+		tb.AddRow(label, fmt.Sprintf("%v", l.Names), valid, differs)
+	}
+	return tb, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netorient/internal/apps"
+	"netorient/internal/graph"
+	"netorient/internal/trace"
+)
+
+// T9Election quantifies the related-work claim the paper closes with
+// ([25], Ch.5): the sense of direction makes leader election cheaper.
+// On rings of growing size, the un-oriented Hirschberg–Sinclair
+// algorithm (O(n log n) messages) is compared against Chang–Roberts
+// on the oriented ring (O(n log n) expected, O(n²) worst) and against
+// "election" once the network carries the DFTNO orientation — the
+// node named 0 is leader by common knowledge, so only the
+// announcement broadcast costs anything.
+func T9Election(cfg Config) (*trace.Table, error) {
+	sizes := []int{8, 16, 32, 64}
+	if cfg.Quick {
+		sizes = []int{8, 16}
+	}
+	tb := trace.NewTable(
+		"T9 (Ch.5/[25]) — leader election messages on rings: un-oriented vs oriented vs fully named",
+		"n", "HS (un-oriented)", "CR (oriented ring)", "CR worst-case ids", "with SP1∧SP2 names")
+	for _, n := range sizes {
+		g := graph.Ring(n)
+
+		// The orientation supplies the unique ids: run DFTNO.
+		d, err := newDFTNO(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		l := d.Labeling()
+		ids := l.Names
+
+		_, hs, err := apps.ElectHirschbergSinclair(g, ids)
+		if err != nil {
+			return nil, fmt.Errorf("T9: HS n=%d: %w", n, err)
+		}
+		_, cr, err := apps.ElectChangRoberts(g, ids)
+		if err != nil {
+			return nil, fmt.Errorf("T9: CR n=%d: %w", n, err)
+		}
+		worst := make([]int, n)
+		for i := range worst {
+			worst[i] = n - 1 - i
+		}
+		_, crWorst, err := apps.ElectChangRoberts(g, worst)
+		if err != nil {
+			return nil, fmt.Errorf("T9: CR worst n=%d: %w", n, err)
+		}
+		_, named, err := apps.ElectWithOrientation(g, l)
+		if err != nil {
+			return nil, fmt.Errorf("T9: oriented n=%d: %w", n, err)
+		}
+		tb.AddRow(n, hs, cr, crWorst, named)
+	}
+	return tb, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/trace"
+)
+
+// T6Equivalence verifies the Chapter 5 observation: "if the spanning
+// tree maintained in the STNO is a DFS tree of the graph, then the
+// naming could be similar for both algorithms, provided the respective
+// ordering at individual nodes is the same." For random graphs, STNO
+// is run over the port-ordered DFS tree and its naming is compared,
+// node by node, with DFTNO's; the BFS-tree naming is shown as the
+// contrast column.
+func T6Equivalence(cfg Config) (*trace.Table, error) {
+	trials := cfg.trials(10)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb := trace.NewTable(
+		"T6 (Ch.5) — STNO over the DFS tree names exactly like DFTNO; over the BFS tree it (generally) does not",
+		"graph", "n", "m", "DFS-tree naming = DFTNO", "BFS-tree naming = DFTNO")
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(20)
+		g := graph.RandomConnected(n, rng.Intn(n), rng)
+
+		d, err := newDFTNO(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		ref := d.ReferenceNames()
+
+		runSTNO := func(sub core.TreeSubstrate) ([]int, error) {
+			s, err := core.NewSTNO(g, sub, 0)
+			if err != nil {
+				return nil, err
+			}
+			sys := program.NewSystem(s, daemon.NewRoundRobin())
+			res, err := sys.RunUntilLegitimate(stepBudget(g))
+			if err != nil || !res.Converged {
+				return nil, fmt.Errorf("T6: STNO did not stabilize: %v", err)
+			}
+			return s.Names(), nil
+		}
+
+		dfsSub, err := spantree.NewDFSOracle(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		dfsNames, err := runSTNO(dfsSub)
+		if err != nil {
+			return nil, err
+		}
+		bfsSub, err := spantree.NewBFSOracle(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		bfsNames, err := runSTNO(bfsSub)
+		if err != nil {
+			return nil, err
+		}
+
+		equal := func(a, b []int) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !equal(dfsNames, ref) {
+			return nil, fmt.Errorf("T6: DFS-tree STNO naming %v deviates from DFTNO %v on %s", dfsNames, ref, g)
+		}
+		tb.AddRow(fmt.Sprintf("random#%d", trial), g.N(), g.M(),
+			equal(dfsNames, ref), equal(bfsNames, ref))
+	}
+	return tb, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/token"
+	"netorient/internal/trace"
+)
+
+// F1Chordal reproduces Figure 2.2.1: a chordal sense of direction on
+// a small network — every node's name, every incident label, and the
+// validation verdict for SP1/SP2/local orientation/edge symmetry.
+func F1Chordal(cfg Config) (*trace.Table, error) {
+	g := graph.PaperChordalExample()
+	d, err := newDFTNO(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	l := d.Labeling()
+	if err := l.Validate(g); err != nil {
+		return nil, fmt.Errorf("F1: %w", err)
+	}
+	tb := trace.NewTable(
+		"F1 (Figure 2.2.1) — chordal sense of direction on the 5-cycle with chord; N=5; labeling validated (SP1 ∧ SP2 ∧ local orientation ∧ edge symmetry)",
+		"node", "name η", "labels π[port]→(neighbour:label)")
+	for v := 0; v < g.N(); v++ {
+		var cells []string
+		for port, q := range g.Neighbors(graph.NodeID(v)) {
+			cells = append(cells, fmt.Sprintf("%d:%d", q, l.Labels[v][port]))
+		}
+		tb.AddRow(v, l.Names[v], strings.Join(cells, " "))
+	}
+	return tb, nil
+}
+
+// F2DFTNOTrace reproduces Figure 3.1.1 step by step: the token names
+// r=0, b=1, d=2, c=3, a=4 on the paper's example graph, with the Max
+// counter propagating 3 back to the root before a is named 4.
+func F2DFTNOTrace(cfg Config) (*trace.Table, error) {
+	g := graph.PaperTokenExample()
+	sub, err := token.NewOracle(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := map[graph.NodeID]string{0: "r", 1: "b", 2: "d", 3: "c", 4: "a"}
+	tb := trace.NewTable(
+		"F2 (Figure 3.1.1) — DFTNO node labeling on the paper's example (r–b, b–d, d–c, r–a)",
+		"move", "paper step", "processor", "event", "η", "Max")
+	paperSteps := []string{"ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x"}
+	events := []string{
+		"GenerateToken+Nodelabel", "Forward+Nodelabel", "Forward+Nodelabel",
+		"Forward+Nodelabel", "Backtrack+UpdateMax", "Backtrack+UpdateMax",
+		"Backtrack+UpdateMax", "Forward+Nodelabel", "Backtrack+UpdateMax",
+	}
+	sys := program.NewSystem(d, daemon.NewDeterministic())
+	var last program.Move
+	sys.MoveHook = func(m program.Move) { last = m }
+	for i := 0; i < len(paperSteps); i++ {
+		if _, err := sys.Step(); err != nil {
+			return nil, err
+		}
+		etaStr := fmt.Sprintf("%d", d.Names()[last.Node])
+		tb.AddRow(i+1, paperSteps[i], names[last.Node], events[i], etaStr, d.MaxOf(last.Node))
+	}
+	want := []int{0, 1, 2, 3, 4}
+	got := d.Names()
+	for v := range want {
+		if got[v] != want[v] {
+			return nil, fmt.Errorf("F2: naming %v deviates from the paper's %v", got, want)
+		}
+	}
+	return tb, nil
+}
+
+// F3STNOTrace reproduces Figure 4.1.1: weights aggregate bottom-up to
+// (1,1,1,3,5) and names distribute top-down to the preorder 0..4 on
+// the paper's example tree.
+func F3STNOTrace(cfg Config) (*trace.Table, error) {
+	g := graph.PaperTreeExample()
+	s, err := newSTNOOverDFSOracle(g)
+	if err != nil {
+		return nil, err
+	}
+	sys := program.NewSystem(s, daemon.NewRoundRobin())
+	res, err := sys.RunUntilLegitimate(100000)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("F3: STNO did not stabilize")
+	}
+	wantW := []int{5, 3, 1, 1, 1}
+	wantN := []int{0, 1, 2, 3, 4}
+	tb := trace.NewTable(
+		fmt.Sprintf("F3 (Figure 4.1.1) — STNO weights and naming on the paper's example tree (stabilized in %d rounds, %d moves)", res.Rounds, res.Moves),
+		"node", "role", "Weight (paper)", "name η (paper)")
+	roles := []string{"root", "internal", "leaf", "leaf", "leaf"}
+	names := s.Names()
+	for v := 0; v < g.N(); v++ {
+		if s.WeightOf(graph.NodeID(v)) != wantW[v] || names[v] != wantN[v] {
+			return nil, fmt.Errorf("F3: node %d weight=%d name=%d, paper says weight=%d name=%d",
+				v, s.WeightOf(graph.NodeID(v)), names[v], wantW[v], wantN[v])
+		}
+		tb.AddRow(v, roles[v],
+			fmt.Sprintf("%d (%d)", s.WeightOf(graph.NodeID(v)), wantW[v]),
+			fmt.Sprintf("%d (%d)", names[v], wantN[v]))
+	}
+	return tb, nil
+}
+
+// newSTNOOverDFSOracle builds STNO over the fixed DFS tree.
+func newSTNOOverDFSOracle(g *graph.Graph) (*core.STNO, error) {
+	sub, err := spantreeDFSOracle(g)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSTNO(g, sub, 0)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netorient/internal/apps"
+	"netorient/internal/graph"
+	"netorient/internal/trace"
+)
+
+// T5SoDBenefit quantifies the paper's motivation (§1.3, §1.4, Ch.5,
+// after Santoro): once the network is oriented, fundamental
+// computations need fewer messages. Broadcast by flooding
+// (2m−(n−1) messages) and depth-first traversal without orientation
+// (2m) are compared against the SoD-exploiting traversal/broadcast
+// (2(n−1)) and, where the source is adjacent to everyone, direct
+// addressing (n−1). The orientation itself is produced by DFTNO.
+func T5SoDBenefit(cfg Config) (*trace.Table, error) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring-16", graph.Ring(16)},
+		{"torus-4x4", graph.Torus(4, 4)},
+		{"hypercube-4", graph.Hypercube(4)},
+		{"clique-12", graph.Complete(12)},
+		{"clique-24", graph.Complete(24)},
+	}
+	if cfg.Quick {
+		graphs = graphs[:4]
+	}
+	tb := trace.NewTable(
+		"T5 (§1.3/§1.4/Ch.5) — message complexity with vs without the chordal sense of direction",
+		"graph", "n", "m", "flood bcast", "DFT no SoD", "DFT with SoD", "direct (clique)", "SoD speedup")
+	for _, gr := range graphs {
+		g := gr.g
+		d, err := newDFTNO(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		l := d.Labeling()
+		flood, _ := apps.FloodBroadcast(g, 0)
+		noSoD := apps.TraverseNoSoD(g, 0)
+		withSoD, err := apps.TraverseWithSoD(g, l, 0)
+		if err != nil {
+			return nil, fmt.Errorf("T5: %s: %w", gr.name, err)
+		}
+		direct := "-"
+		if msgs, ok := apps.DirectBroadcastMessages(g, 0); ok {
+			direct = fmt.Sprintf("%d", msgs)
+		}
+		tb.AddRow(gr.name, g.N(), g.M(), flood, noSoD, withSoD, direct,
+			float64(noSoD)/float64(withSoD))
+	}
+	return tb, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netorient/internal/daemon"
+	"netorient/internal/fault"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/trace"
+)
+
+// T4Recovery operationalises Theorems 3.2.3 and 4.2.3: both protocols
+// are self-stabilizing, so after k processors suffer transient faults
+// the system returns to a legitimate configuration on its own. The
+// table reports median recovery cost per fault size for both stacks,
+// with full corruption (k=n) as the fresh-start baseline.
+func T4Recovery(cfg Config) (*trace.Table, error) {
+	g := graph.Grid(4, 4)
+	if cfg.Quick {
+		g = graph.Grid(3, 3)
+	}
+	trials := cfg.trials(15)
+	faultSizes := []int{1, 2, g.N() / 4, g.N()}
+
+	tb := trace.NewTable(
+		fmt.Sprintf("T4 (Thms 3.2.3/4.2.3) — recovery from k-node transient faults on %s (central daemon, %d trials)", g, trials),
+		"protocol", "k faults", "recovered", "median moves", "p95 moves", "median rounds")
+
+	type stack struct {
+		name  string
+		build func() (fault.Target, error)
+	}
+	stacks := []stack{
+		{"dftno", func() (fault.Target, error) { return newDFTNO(g, 0) }},
+		{"stno", func() (fault.Target, error) { return newSTNO(g, 0) }},
+	}
+	for _, st := range stacks {
+		target, err := st.build()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range faultSizes {
+			out, err := fault.Campaign{
+				Faults:   k,
+				Trials:   trials,
+				MaxSteps: stepBudget(g),
+				Seed:     cfg.Seed + int64(k),
+				NewDaemon: func(trial int) program.Daemon {
+					return daemon.NewCentral(cfg.Seed + int64(trial))
+				},
+			}.Run(target)
+			if err != nil {
+				return nil, fmt.Errorf("T4: %s k=%d: %w", st.name, k, err)
+			}
+			ms := trace.SummarizeInts(out.RecoveryMoves)
+			rs := trace.SummarizeInts(out.RecoveryRounds)
+			tb.AddRow(st.name, k,
+				fmt.Sprintf("%d/%d", out.Recovered, out.Trials),
+				ms.Median, ms.P95, rs.Median)
+		}
+	}
+	return tb, nil
+}

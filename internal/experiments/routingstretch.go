@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netorient/internal/graph"
+	"netorient/internal/sod"
+	"netorient/internal/trace"
+)
+
+// T10Routing measures how far the locally-computable greedy routing
+// over the chordal labels (§1.3: "the labels can be used in many
+// applications, such as routing") carries on different topologies:
+// delivery rate over all ordered pairs, and the stretch (hops /
+// BFS optimum) over delivered pairs. On rings, cliques and chordal
+// rings — the structures whose geometry the name cycle matches —
+// greedy is complete and optimal; on meshes and random graphs the
+// DFS-order names decouple from the geometry and greedy degrades,
+// which is why the paper separates establishing the orientation from
+// exploiting it.
+func T10Routing(cfg Config) (*trace.Table, error) {
+	c16, err := graph.Circulant(16, []int{1, 4})
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		// namesByPosition uses ring positions as names (the chordal
+		// rings' native orientation) instead of DFTNO's DFS naming.
+		namesByPosition bool
+	}{
+		{"ring-16 (dftno)", graph.Ring(16), false},
+		{"clique-8 (dftno)", graph.Complete(8), false},
+		{"circulant-16(1,4)", c16, true},
+		{"grid-4x4 (dftno)", graph.Grid(4, 4), false},
+		{"torus-4x4 (dftno)", graph.Torus(4, 4), false},
+	}
+	if cfg.Quick {
+		cases = cases[:3]
+	}
+	tb := trace.NewTable(
+		"T10 (§1.3) — greedy routing over the chordal labels: delivery rate and stretch vs BFS optimum",
+		"graph", "pairs", "delivered", "rate", "mean stretch", "max stretch")
+	for _, c := range cases {
+		g := c.g
+		var l *sod.Labeling
+		if c.namesByPosition {
+			names := make([]int, g.N())
+			for i := range names {
+				names[i] = i
+			}
+			l = sod.FromNames(g, names, g.N())
+		} else {
+			d, err := newDFTNO(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			l = d.Labeling()
+		}
+		if err := l.Validate(g); err != nil {
+			return nil, fmt.Errorf("T10: %s: %w", c.name, err)
+		}
+		pairs, delivered := 0, 0
+		var stretches []float64
+		for from := 0; from < g.N(); from++ {
+			dist, _ := graph.BFSFrom(g, graph.NodeID(from))
+			for to := 0; to < g.N(); to++ {
+				if to == from {
+					continue
+				}
+				pairs++
+				path, err := l.Route(g, graph.NodeID(from), l.Names[to], 4*g.N())
+				if err != nil {
+					continue
+				}
+				delivered++
+				stretches = append(stretches, float64(len(path)-1)/float64(dist[to]))
+			}
+		}
+		st := trace.Summarize(stretches)
+		tb.AddRow(c.name, pairs, delivered,
+			float64(delivered)/float64(pairs), st.Mean, st.Max)
+	}
+	return tb, nil
+}

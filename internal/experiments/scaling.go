@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/trace"
+)
+
+// spantreeDFSOracle wraps the fixed port-ordered DFS tree of g as a
+// tree substrate.
+func spantreeDFSOracle(g *graph.Graph) (core.TreeSubstrate, error) {
+	return spantree.NewDFSOracle(g, 0)
+}
+
+// T1DFTNOScaling measures §3.2.3: after the token circulation layer
+// has stabilized, DFTNO stabilizes in O(n) moves. For each topology
+// and size, the full stack starts from a random configuration, runs
+// until the substrate alone is legitimate, then counts the extra
+// moves/rounds to full orientation legitimacy. The moves/n column is
+// the linearity witness: it stays bounded as n grows.
+func T1DFTNOScaling(cfg Config) (*trace.Table, error) {
+	sizes := []int{8, 16, 32, 64, 128}
+	if cfg.Quick {
+		sizes = []int{8, 16, 32}
+	}
+	topologies := []struct {
+		name string
+		mk   func(n int, rng *rand.Rand) *graph.Graph
+	}{
+		{"ring", func(n int, _ *rand.Rand) *graph.Graph { return graph.Ring(n) }},
+		{"binary-tree", func(n int, _ *rand.Rand) *graph.Graph { return graph.KAryTree(n, 2) }},
+		{"random(+n/2)", func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, n/2, rng) }},
+	}
+	trials := cfg.trials(5)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb := trace.NewTable(
+		"T1 (§3.2.3) — DFTNO stabilization after the token layer stabilizes: O(n) moves (median over trials)",
+		"topology", "n", "m", "moves", "rounds", "moves/n")
+	for _, topo := range topologies {
+		for _, n := range sizes {
+			g := topo.mk(n, rng)
+			var moves, rounds []int64
+			for trial := 0; trial < trials; trial++ {
+				d, err := newDFTNO(g, 0)
+				if err != nil {
+					return nil, err
+				}
+				d.Randomize(rng)
+				sys := program.NewSystem(d, daemon.NewCentral(cfg.Seed+int64(trial)))
+				// Phase 1: substrate stabilization (not charged to DFTNO).
+				sub := d.Substrate()
+				res, err := sys.RunUntil(sub.Legitimate, stepBudget(g))
+				if err != nil || !res.Converged {
+					return nil, fmt.Errorf("T1: substrate did not stabilize on %s n=%d: %v", topo.name, n, err)
+				}
+				// Phase 2: orientation stabilization, counted.
+				sys.ResetCounters()
+				res, err = sys.RunUntilLegitimate(stepBudget(g))
+				if err != nil || !res.Converged {
+					return nil, fmt.Errorf("T1: orientation did not stabilize on %s n=%d: %v", topo.name, n, err)
+				}
+				moves = append(moves, res.Moves)
+				rounds = append(rounds, res.Rounds)
+			}
+			medMoves := medianInt64(moves)
+			tb.AddRow(topo.name, n, g.M(), medMoves, medianInt64(rounds), medMoves/float64(n))
+		}
+	}
+	return tb, nil
+}
+
+// T2STNOHeight measures §4.2.3: after the spanning tree is stable,
+// STNO stabilizes in O(h) rounds. Trees of (near-)fixed size but very
+// different heights are compared under the synchronous daemon; the
+// rounds/h column is the witness.
+func T2STNOHeight(cfg Config) (*trace.Table, error) {
+	shapes := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star (h=1)", graph.Star(64)},
+		{"binary tree (h=5)", graph.KAryTree(63, 2)},
+		{"caterpillar (h≈21)", graph.Caterpillar(21, 2)},
+		{"path (h=63)", graph.Path(64)},
+	}
+	if cfg.Quick {
+		shapes = shapes[:3]
+	}
+	trials := cfg.trials(5)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb := trace.NewTable(
+		"T2 (§4.2.3) — STNO stabilization on a stable tree: O(h) rounds (median over trials, synchronous daemon)",
+		"tree", "n", "height h", "rounds", "moves", "rounds/h")
+	for _, sh := range shapes {
+		g := sh.g
+		_, parent := graph.BFSFrom(g, 0)
+		h := graph.TreeHeight(parent, 0)
+		var rounds, moves []int64
+		for trial := 0; trial < trials; trial++ {
+			sub, err := spantree.NewOracle(g, 0, parent)
+			if err != nil {
+				return nil, err
+			}
+			s, err := core.NewSTNO(g, sub, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.Randomize(rng)
+			sys := program.NewSystem(s, daemon.NewSynchronous(cfg.Seed+int64(trial)))
+			res, err := sys.RunUntilLegitimate(stepBudget(g))
+			if err != nil || !res.Converged {
+				return nil, fmt.Errorf("T2: STNO did not stabilize on %s: %v", sh.name, err)
+			}
+			rounds = append(rounds, res.Rounds)
+			moves = append(moves, res.Moves)
+		}
+		medRounds := medianInt64(rounds)
+		tb.AddRow(sh.name, g.N(), h, medRounds, medianInt64(moves), medRounds/float64(h))
+	}
+	return tb, nil
+}

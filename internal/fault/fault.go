@@ -1,0 +1,102 @@
+// Package fault runs transient-fault campaigns against
+// self-stabilizing protocols: starting from a legitimate
+// configuration, corrupt the local state of k random processors, then
+// measure the moves and rounds until the system is legitimate again —
+// the operational content of Theorems 3.2.3 and 4.2.3.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// Target is the protocol contract a campaign needs.
+type Target interface {
+	program.Protocol
+	program.Legitimacy
+	program.NodeCorruptor
+}
+
+// Campaign describes a fault-injection experiment.
+type Campaign struct {
+	// Faults is the number of distinct processors corrupted per trial
+	// (clamped to n).
+	Faults int
+	// Trials is the number of corrupt-and-recover repetitions.
+	Trials int
+	// MaxSteps bounds each recovery (and the initial stabilization).
+	MaxSteps int64
+	// Seed drives node selection, corruption values and daemons.
+	Seed int64
+	// NewDaemon builds the daemon for a trial; nil is an error (the
+	// caller chooses the scheduling model explicitly).
+	NewDaemon func(trial int) program.Daemon
+}
+
+// Outcome aggregates a campaign's results.
+type Outcome struct {
+	Trials    int
+	Recovered int
+	// RecoveryMoves and RecoveryRounds hold one entry per recovered
+	// trial.
+	RecoveryMoves  []int64
+	RecoveryRounds []int64
+}
+
+// Errors.
+var (
+	ErrNoDaemonFactory = errors.New("fault: campaign needs a NewDaemon factory")
+)
+
+// Run executes the campaign on t. The protocol is first driven to a
+// legitimate configuration; each trial then corrupts Faults distinct
+// random processors and runs until legitimacy returns.
+func (c Campaign) Run(t Target) (Outcome, error) {
+	if c.NewDaemon == nil {
+		return Outcome{}, ErrNoDaemonFactory
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := t.Graph().N()
+	faults := c.Faults
+	if faults > n {
+		faults = n
+	}
+	if faults < 1 {
+		faults = 1
+	}
+
+	out := Outcome{Trials: c.Trials}
+	sys := program.NewSystem(t, c.NewDaemon(-1))
+	if res, err := sys.RunUntilLegitimate(c.MaxSteps); err != nil {
+		return out, err
+	} else if !res.Converged {
+		return out, fmt.Errorf("fault: protocol %q did not stabilize before injection", t.Name())
+	}
+
+	for trial := 0; trial < c.Trials; trial++ {
+		for _, v := range rng.Perm(n)[:faults] {
+			t.CorruptNode(graph.NodeID(v), rng)
+		}
+		sys = program.NewSystem(t, c.NewDaemon(trial))
+		res, err := sys.RunUntilLegitimate(c.MaxSteps)
+		if err != nil {
+			return out, err
+		}
+		if !res.Converged {
+			// Leave the system unstabilized no longer: restore a
+			// legitimate base for the next trial.
+			if res2, err2 := sys.RunUntilLegitimate(4 * c.MaxSteps); err2 != nil || !res2.Converged {
+				return out, fmt.Errorf("fault: trial %d never recovered", trial)
+			}
+			continue
+		}
+		out.Recovered++
+		out.RecoveryMoves = append(out.RecoveryMoves, res.Moves)
+		out.RecoveryRounds = append(out.RecoveryRounds, res.Rounds)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+func centralFactory(trial int) program.Daemon {
+	return daemon.NewCentral(int64(trial) + 1000)
+}
+
+func TestCampaignNeedsDaemonFactory(t *testing.T) {
+	g := graph.Ring(4)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Campaign{Trials: 1, MaxSteps: 10}).Run(d); !errors.Is(err, ErrNoDaemonFactory) {
+		t.Fatalf("got %v, want ErrNoDaemonFactory", err)
+	}
+}
+
+func TestDFTNORecoversFromSingleFault(t *testing.T) {
+	g := graph.Grid(3, 3)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Campaign{
+		Faults:    1,
+		Trials:    20,
+		MaxSteps:  int64(5000 * (g.N() + g.M())),
+		Seed:      1,
+		NewDaemon: centralFactory,
+	}.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovered != out.Trials {
+		t.Fatalf("recovered %d of %d trials", out.Recovered, out.Trials)
+	}
+}
+
+func TestSTNORecoversFromMultiNodeFaults(t *testing.T) {
+	g := graph.Grid(3, 3)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, g.N()} {
+		out, err := Campaign{
+			Faults:    k,
+			Trials:    15,
+			MaxSteps:  int64(5000 * (g.N() + g.M())),
+			Seed:      int64(k),
+			NewDaemon: centralFactory,
+		}.Run(s)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if out.Recovered != out.Trials {
+			t.Fatalf("k=%d: recovered %d of %d", k, out.Recovered, out.Trials)
+		}
+		if len(out.RecoveryMoves) != out.Recovered || len(out.RecoveryRounds) != out.Recovered {
+			t.Fatalf("k=%d: inconsistent outcome lengths", k)
+		}
+	}
+}
+
+func TestSmallFaultsRecoverNoSlowerThanFullCorruption(t *testing.T) {
+	// Sanity shape check for T4: median recovery from 1 fault should
+	// not exceed the median recovery from full corruption by more
+	// than noise allows (here: a generous 2x).
+	g := graph.Ring(8)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int) float64 {
+		out, err := Campaign{
+			Faults:    k,
+			Trials:    30,
+			MaxSteps:  1 << 22,
+			Seed:      7,
+			NewDaemon: centralFactory,
+		}.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, m := range out.RecoveryMoves {
+			sum += float64(m)
+		}
+		return sum / float64(len(out.RecoveryMoves))
+	}
+	small := run(1)
+	full := run(g.N())
+	if small > 2*full+10 {
+		t.Errorf("1-fault mean recovery %.1f moves vs full-corruption %.1f — expected small ≤ ~full", small, full)
+	}
+}

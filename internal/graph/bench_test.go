@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRandomConnected(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := RandomConnected(256, 128, rng)
+		if g.N() != 256 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkDFSPreorder(b *testing.B) {
+	g := Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order, _ := DFSPreorder(g, 0)
+		if len(order) != g.N() {
+			b.Fatal("incomplete DFS")
+		}
+	}
+}
+
+func BenchmarkBFSFrom(b *testing.B) {
+	g := Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist, _ := BFSFrom(g, 0)
+		if dist[g.N()-1] < 0 {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkPortOf(b *testing.B) {
+	g := Complete(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.PortOf(NodeID(i%64), NodeID((i+1)%64)); !ok {
+			b.Fatal("missing edge")
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the n-cycle 0-1-…-(n-1)-0. n must be ≥ 3.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(NodeID(i), NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path 0-1-…-(n-1). n must be ≥ 1.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star with centre 0 and leaves 1..n-1.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(0, NodeID(i))
+	}
+	return b.Build()
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.MustAddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	return b.Build()
+}
+
+// Wheel returns a cycle on nodes 1..n-1 plus a hub 0 adjacent to all.
+// n must be ≥ 4.
+func Wheel(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(0, NodeID(i))
+	}
+	for i := 1; i < n; i++ {
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		b.MustAddEdge(NodeID(i), NodeID(next))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph, node (r,c) = r*cols+c.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows×cols torus (grid with wraparound). rows and
+// cols must be ≥ 3 to avoid duplicate edges.
+func Torus(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(((r+rows)%rows)*cols + (c+cols)%cols) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.MustAddEdge(id(r, c), id(r, c+1))
+			b.MustAddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+func Hypercube(dim int) *Graph {
+	n := 1 << dim
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.MustAddEdge(NodeID(v), NodeID(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// KAryTree returns a complete k-ary tree with n nodes rooted at 0;
+// node i has parent (i-1)/k.
+func KAryTree(n, k int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(NodeID((i-1)/k), NodeID(i))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of spineLen nodes with legsPerSpine leaves
+// attached to every spine node. It provides trees of controllable height
+// at a given size for the T2 experiment.
+func Caterpillar(spineLen, legsPerSpine int) *Graph {
+	n := spineLen * (1 + legsPerSpine)
+	b := NewBuilder(n)
+	for i := 0; i+1 < spineLen; i++ {
+		b.MustAddEdge(NodeID(i), NodeID(i+1))
+	}
+	next := spineLen
+	for i := 0; i < spineLen; i++ {
+		for l := 0; l < legsPerSpine; l++ {
+			b.MustAddEdge(NodeID(i), NodeID(next))
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// Lollipop returns a clique of cliqueSize nodes with a path of tailLen
+// nodes attached to clique node 0.
+func Lollipop(cliqueSize, tailLen int) *Graph {
+	n := cliqueSize + tailLen
+	b := NewBuilder(n)
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			b.MustAddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	prev := NodeID(0)
+	for i := 0; i < tailLen; i++ {
+		v := NodeID(cliqueSize + i)
+		b.MustAddEdge(prev, v)
+		prev = v
+	}
+	return b.Build()
+}
+
+// Circulant returns the circulant graph C_n(offsets): node i is
+// adjacent to i±d (mod n) for every d in offsets — the chordal rings
+// the chordal sense of direction is named after (§2.2). Offsets must
+// be distinct values in 1..n/2.
+func Circulant(n int, offsets []int) (*Graph, error) {
+	b := NewBuilder(n)
+	seen := make(map[int]bool, len(offsets))
+	for _, d := range offsets {
+		if d < 1 || d > n/2 {
+			return nil, fmt.Errorf("graph: circulant offset %d outside 1..%d", d, n/2)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("graph: duplicate circulant offset %d", d)
+		}
+		seen[d] = true
+		for i := 0; i < n; i++ {
+			j := (i + d) % n
+			if !b.HasEdge(NodeID(i), NodeID(j)) {
+				b.MustAddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return b.BuildConnected()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes
+// (random Prüfer-like attachment: node i attaches to a uniform earlier
+// node), using rng for all randomness.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(NodeID(rng.Intn(i)), NodeID(i))
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a connected graph on n nodes: a random
+// spanning tree plus extra distinct random edges.
+func RandomConnected(n, extraEdges int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(NodeID(rng.Intn(i)), NodeID(i))
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extraEdges > maxExtra {
+		extraEdges = maxExtra
+	}
+	for added := 0; added < extraEdges; {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		b.MustAddEdge(u, v)
+		added++
+	}
+	return b.Build()
+}
+
+// PaperTokenExample returns the 5-node rooted graph of Figure 3.1.1
+// (nodes r,a,b,c,d mapped to ids 0,4,1,3,2 in DFS-preorder so that the
+// paper's labels match the ids) — edges r–b, b–d, d–c, r–a with the
+// root's port order (b, a), reproducing the paper's naming trace
+// r=0, b=1, d=2, c=3, a=4.
+//
+// Returned ids: r=0, b=1, d=2, c=3, a=4.
+func PaperTokenExample() *Graph {
+	const (
+		r = NodeID(0)
+		b = NodeID(1)
+		d = NodeID(2)
+		c = NodeID(3)
+		a = NodeID(4)
+	)
+	bd := NewBuilder(5)
+	bd.MustAddEdge(r, b) // root's port 0 → b (visited first)
+	bd.MustAddEdge(r, a) // root's port 1 → a (visited last)
+	bd.MustAddEdge(b, d)
+	bd.MustAddEdge(d, c)
+	return bd.Build()
+}
+
+// PaperTreeExample returns the 5-node rooted tree of Figure 4.1.1: the
+// root (0) has an internal child (1, weight 3) and a leaf child (4,
+// weight 1); the internal child has two leaves (2, 3). The STNO naming
+// is 0,1,2,3,4 in preorder.
+func PaperTreeExample() *Graph {
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1) // root → internal
+	b.MustAddEdge(1, 2) // internal → leaf
+	b.MustAddEdge(1, 3) // internal → leaf
+	b.MustAddEdge(0, 4) // root → leaf
+	return b.Build()
+}
+
+// PaperChordalExample returns a 5-node cycle with one chord — a small
+// graph in the spirit of Figure 2.2.1 used to illustrate the chordal
+// sense of direction (the figure's exact topology is not recoverable
+// from the text; any graph exhibits the labeling).
+func PaperChordalExample() *Graph {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.MustAddEdge(NodeID(i), NodeID((i+1)%5))
+	}
+	b.MustAddEdge(0, 2) // chord
+	return b.Build()
+}
+
+// Named returns a generator by name, for the CLI tools. Supported:
+// ring:n path:n star:n clique:n wheel:n grid:RxC torus:RxC cube:d
+// tree:n:k caterpillar:S:L lollipop:C:T random:n:extra:seed
+// rtree:n:seed paper-token paper-tree paper-chordal.
+func Named(spec string) (*Graph, error) {
+	var (
+		a, b2, c int
+	)
+	switch {
+	case spec == "paper-token":
+		return PaperTokenExample(), nil
+	case spec == "paper-tree":
+		return PaperTreeExample(), nil
+	case spec == "paper-chordal":
+		return PaperChordalExample(), nil
+	case scan(spec, "ring:%d", &a):
+		return Ring(a), nil
+	case scan(spec, "path:%d", &a):
+		return Path(a), nil
+	case scan(spec, "star:%d", &a):
+		return Star(a), nil
+	case scan(spec, "clique:%d", &a):
+		return Complete(a), nil
+	case scan(spec, "wheel:%d", &a):
+		return Wheel(a), nil
+	case scan(spec, "grid:%dx%d", &a, &b2):
+		return Grid(a, b2), nil
+	case scan(spec, "torus:%dx%d", &a, &b2):
+		return Torus(a, b2), nil
+	case scan(spec, "cube:%d", &a):
+		return Hypercube(a), nil
+	case scan(spec, "tree:%d:%d", &a, &b2):
+		return KAryTree(a, b2), nil
+	case scan(spec, "caterpillar:%d:%d", &a, &b2):
+		return Caterpillar(a, b2), nil
+	case scan(spec, "lollipop:%d:%d", &a, &b2):
+		return Lollipop(a, b2), nil
+	case scan(spec, "random:%d:%d:%d", &a, &b2, &c):
+		return RandomConnected(a, b2, rand.New(rand.NewSource(int64(c)))), nil
+	case scan(spec, "rtree:%d:%d", &a, &b2):
+		return RandomTree(a, rand.New(rand.NewSource(int64(b2)))), nil
+	case scan(spec, "circulant:%d:%d", &a, &b2):
+		return Circulant(a, []int{1, b2})
+	}
+	return nil, fmt.Errorf("graph: unknown spec %q", spec)
+}
+
+func scan(s, format string, args ...interface{}) bool {
+	n, err := fmt.Sscanf(s, format, args...)
+	return err == nil && n == len(args)
+}

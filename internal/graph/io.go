@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as "n" on the first line followed by
+// one "u v" pair per edge, in a stable order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintf(w, "%d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseEdgeList reads the format written by WriteEdgeList. Blank lines
+// and lines starting with '#' are ignored.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("graph: line %d: want node count, got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[0])
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v\", got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+		}
+		if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return b.Build(), nil
+}
+
+// DOTOptions customises WriteDOT output.
+type DOTOptions struct {
+	// NodeLabel returns the display label for a node; nil uses the id.
+	NodeLabel func(NodeID) string
+	// EdgeLabel returns the display label for an edge; nil omits labels.
+	EdgeLabel func(u, v NodeID) string
+	// Name is the graph name; empty uses "G".
+	Name string
+}
+
+// WriteDOT writes the graph in Graphviz DOT format.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		label := strconv.Itoa(v)
+		if opts.NodeLabel != nil {
+			label = opts.NodeLabel(NodeID(v))
+		}
+		if _, err := fmt.Fprintf(w, "  %d [label=%q];\n", v, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if opts.EdgeLabel != nil {
+			if _, err := fmt.Fprintf(w, "  %d -- %d [label=%q];\n", e.U, e.V, opts.EdgeLabel(e.U, e.V)); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "  %d -- %d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Grid(3, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %s vs %s", g, g2)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Errorf("edge {%d,%d} lost", e.U, e.V)
+		}
+	}
+}
+
+func TestParseEdgeListComments(t *testing.T) {
+	in := "# a comment\n4\n\n0 1\n# another\n1 2\n2 3\n"
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("got %s, want n=4 m=3", g)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"x\n",           // bad count
+		"3\n0\n",        // bad edge arity
+		"3\n0 a\n",      // bad edge value
+		"3\n0 0\n",      // self-loop
+		"2\n0 1\n0 1\n", // duplicate
+		"2\n0 5\n",      // out of range
+	}
+	for _, in := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:      "P3",
+		NodeLabel: func(v NodeID) string { return "n" },
+		EdgeLabel: func(u, v NodeID) string { return "e" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph P3 {", `0 [label="n"]`, `0 -- 1 [label="e"]`, "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Error("default DOT name missing")
+	}
+}

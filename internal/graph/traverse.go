@@ -1,0 +1,180 @@
+package graph
+
+// BFSFrom runs breadth-first search from root, visiting neighbours in
+// port order. It returns the distance of every node from root (-1 if
+// unreachable) and the BFS parent of every node (None for the root and
+// unreachable nodes).
+func BFSFrom(g *Graph, root NodeID) (dist []int, parent []NodeID) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = None
+	}
+	dist[root] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, q := range g.Neighbors(v) {
+			if dist[q] < 0 {
+				dist[q] = dist[v] + 1
+				parent[q] = v
+				queue = append(queue, q)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DFSPreorder runs the deterministic depth-first traversal from root,
+// exploring neighbours in port order — the reference order the token
+// circulation substrate realises. It returns the visit order and the
+// DFS parent of every reached node.
+func DFSPreorder(g *Graph, root NodeID) (order []NodeID, parent []NodeID) {
+	n := g.N()
+	parent = make([]NodeID, n)
+	visited := make([]bool, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	order = make([]NodeID, 0, n)
+
+	// Iterative DFS keeping per-node next-port cursors, to stay
+	// faithful to "first unvisited neighbour in port order".
+	cursor := make([]int, n)
+	stack := make([]NodeID, 0, n)
+	visited[root] = true
+	order = append(order, root)
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		adv := false
+		for cursor[v] < g.Degree(v) {
+			q := g.Neighbor(v, cursor[v])
+			cursor[v]++
+			if !visited[q] {
+				visited[q] = true
+				parent[q] = v
+				order = append(order, q)
+				stack = append(stack, q)
+				adv = true
+				break
+			}
+		}
+		if !adv {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order, parent
+}
+
+// Eccentricity returns the maximum BFS distance from v to any node;
+// the graph must be connected.
+func Eccentricity(g *Graph, v NodeID) int {
+	dist, _ := BFSFrom(g, v)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the graph diameter (max eccentricity); the graph
+// must be connected. O(n·m).
+func Diameter(g *Graph) int {
+	d := 0
+	for v := 0; v < g.N(); v++ {
+		if e := Eccentricity(g, NodeID(v)); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// IsTree reports whether g is a tree (connected with n-1 edges).
+func IsTree(g *Graph) bool {
+	return g.N() > 0 && g.M() == g.N()-1 && g.Connected()
+}
+
+// TreeHeight returns the height of the tree described by the parent
+// vector rooted at root: the maximum number of edges on a root-to-node
+// path. It returns -1 if the parent vector does not describe a tree
+// spanning all nodes (cycle, unreachable node, or wrong root).
+func TreeHeight(parent []NodeID, root NodeID) int {
+	n := len(parent)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if root < 0 || int(root) >= n || parent[root] != None {
+		return -1
+	}
+	depth[root] = 0
+	h := 0
+	for v := 0; v < n; v++ {
+		if depth[v] >= 0 {
+			continue
+		}
+		// Walk up to a known-depth ancestor, guarding against cycles.
+		path := []NodeID{}
+		u := NodeID(v)
+		for depth[u] < 0 {
+			path = append(path, u)
+			u = parent[u]
+			if u == None || len(path) > n {
+				return -1
+			}
+		}
+		d := depth[u]
+		for i := len(path) - 1; i >= 0; i-- {
+			d++
+			depth[path[i]] = d
+			if d > h {
+				h = d
+			}
+		}
+	}
+	return h
+}
+
+// ChildrenOf inverts a parent vector into per-node child lists; each
+// child list is ordered by the parent's port order so that "descendants
+// in local order" is well defined.
+func ChildrenOf(g *Graph, parent []NodeID) [][]NodeID {
+	children := make([][]NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, q := range g.Neighbors(NodeID(v)) {
+			if parent[q] == NodeID(v) {
+				children[v] = append(children[v], q)
+			}
+		}
+	}
+	return children
+}
+
+// SpanningParent reports whether parent describes a spanning tree of g
+// rooted at root: every non-root has a parent that is a neighbour, the
+// root has none, and every node reaches the root.
+func SpanningParent(g *Graph, parent []NodeID, root NodeID) bool {
+	if len(parent) != g.N() {
+		return false
+	}
+	if parent[root] != None {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		if NodeID(v) == root {
+			continue
+		}
+		p := parent[v]
+		if p == None || !g.HasEdge(NodeID(v), p) {
+			return false
+		}
+	}
+	return TreeHeight(parent, root) >= 0
+}

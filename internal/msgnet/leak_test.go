@@ -1,0 +1,41 @@
+package msgnet
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"netorient/internal/graph"
+	"netorient/internal/spantree"
+)
+
+// TestRunLeavesNoGoroutines verifies the lifecycle contract: every
+// processor goroutine has exited when Run returns, on both the
+// success and the timeout path.
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	g := graph.Grid(4, 4)
+	before := runtime.NumGoroutine()
+
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(tr, 1)
+	if err := rt.RunUntilLegitimate(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Timeout path.
+	rt2 := New(tr, 2)
+	_ = rt2.Run(func() bool { return false }, 20*time.Millisecond)
+
+	// Allow the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

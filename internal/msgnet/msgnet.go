@@ -1,0 +1,142 @@
+// Package msgnet deploys a guarded-command protocol onto real
+// concurrency: one goroutine per processor, wake-up channels along the
+// communication links, and a global mutex that realises the model's
+// composite atomicity (guard evaluation + statement as one atomic
+// step).
+//
+// The mapping is the natural one for the paper's model: the Go
+// scheduler plays the weakly-fair daemon (every runnable goroutine is
+// eventually scheduled), each node goroutine executes enabled actions
+// of its own processor only, and a state change notifies exactly the
+// neighbours — the processors whose guards can observe it — over
+// buffered channels, so execution is event-driven rather than
+// busy-polled.
+package msgnet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// Runtime executes one protocol across goroutines. Create with New,
+// drive with Run; a Runtime is single-use.
+type Runtime struct {
+	proto program.Protocol
+	seed  int64
+
+	mu    sync.Mutex // guards proto state: composite atomicity
+	moves atomic.Int64
+}
+
+// ErrTimeout is returned when the predicate does not hold within the
+// deadline.
+var ErrTimeout = errors.New("msgnet: predicate not satisfied before deadline")
+
+// New returns a Runtime for p. Per-node action choices draw from
+// seed, so runs are reproducible up to goroutine scheduling.
+func New(p program.Protocol, seed int64) *Runtime {
+	return &Runtime{proto: p, seed: seed}
+}
+
+// Moves returns the number of actions executed so far.
+func (r *Runtime) Moves() int64 { return r.moves.Load() }
+
+// Run spawns one goroutine per processor and lets the system execute
+// until pred holds (checked atomically with the protocol state) or
+// the timeout elapses. All goroutines have exited when Run returns.
+func (r *Runtime) Run(pred func() bool, timeout time.Duration) error {
+	g := r.proto.Graph()
+	n := g.N()
+	stop := make(chan struct{})
+	wake := make([]chan struct{}, n)
+	for v := range wake {
+		wake[v] = make(chan struct{}, 1)
+		wake[v] <- struct{}{} // every processor starts awake
+	}
+	notify := func(v graph.NodeID) {
+		select {
+		case wake[v] <- struct{}{}:
+		default: // already pending
+		}
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v graph.NodeID, rng *rand.Rand) {
+			defer wg.Done()
+			var buf []program.ActionID
+			for {
+				select {
+				case <-stop:
+					return
+				case <-wake[v]:
+				}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					r.mu.Lock()
+					buf = r.proto.Enabled(v, buf[:0])
+					if len(buf) == 0 {
+						r.mu.Unlock()
+						break
+					}
+					a := buf[rng.Intn(len(buf))]
+					fired := r.proto.Execute(v, a)
+					r.mu.Unlock()
+					if fired {
+						r.moves.Add(1)
+						// A write to v's variables can enable guards
+						// at v's neighbours (and at v itself).
+						for _, q := range g.Neighbors(v) {
+							notify(q)
+						}
+						notify(v)
+					}
+				}
+			}
+		}(graph.NodeID(v), rand.New(rand.NewSource(r.seed+int64(v))))
+	}
+
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-deadline.C:
+			return ErrTimeout
+		case <-tick.C:
+			r.mu.Lock()
+			ok := pred()
+			r.mu.Unlock()
+			if ok {
+				return nil
+			}
+		}
+	}
+}
+
+// RunUntilLegitimate is Run with the protocol's own legitimacy
+// predicate; the protocol must implement program.Legitimacy.
+func (r *Runtime) RunUntilLegitimate(timeout time.Duration) error {
+	leg, ok := r.proto.(program.Legitimacy)
+	if !ok {
+		return errors.New("msgnet: protocol has no legitimacy predicate")
+	}
+	return r.Run(leg.Legitimate, timeout)
+}

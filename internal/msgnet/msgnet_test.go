@@ -1,0 +1,102 @@
+package msgnet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netorient/internal/core"
+	"netorient/internal/graph"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+func TestBFSTreeConvergesOnGoroutines(t *testing.T) {
+	g := graph.Grid(4, 4)
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Randomize(rand.New(rand.NewSource(1)))
+	rt := New(tr, 1)
+	if err := rt.RunUntilLegitimate(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Legitimate() {
+		t.Fatal("not legitimate after run")
+	}
+	if rt.Moves() == 0 {
+		t.Fatal("no moves executed")
+	}
+}
+
+func TestSTNOFullStackOnGoroutines(t *testing.T) {
+	g := graph.Grid(3, 4)
+	sub, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Randomize(rand.New(rand.NewSource(2)))
+	rt := New(s, 2)
+	if err := rt.RunUntilLegitimate(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Labeling().Validate(g); err != nil {
+		t.Fatalf("orientation invalid after goroutine run: %v", err)
+	}
+}
+
+func TestDFTNOFullStackOnGoroutines(t *testing.T) {
+	g := graph.Ring(8)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Randomize(rand.New(rand.NewSource(3)))
+	rt := New(d, 3)
+	if err := rt.RunUntilLegitimate(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Labeling().Validate(g); err != nil {
+		t.Fatalf("orientation invalid after goroutine run: %v", err)
+	}
+}
+
+func TestRunTimesOutOnUnsatisfiablePredicate(t *testing.T) {
+	g := graph.Ring(4)
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(tr, 4)
+	err = rt.Run(func() bool { return false }, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+}
+
+func TestRunUntilLegitimateRequiresPredicate(t *testing.T) {
+	g := graph.Ring(3)
+	o, err := spantree.NewBFSOracle(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the Legitimacy interface by wrapping.
+	rt := New(bareProtocol{o}, 5)
+	if err := rt.RunUntilLegitimate(time.Second); err == nil {
+		t.Fatal("expected error for protocol without legitimacy")
+	}
+}
+
+type bareProtocol struct{ *spantree.Oracle }
+
+func (bareProtocol) Legitimate() {} // wrong signature hides program.Legitimacy

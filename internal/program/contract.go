@@ -1,0 +1,87 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+)
+
+// CheckContract verifies the Protocol contract on random
+// configurations and reports the first violation:
+//
+//  1. every action reported by Enabled fires when Executed on the
+//     unchanged configuration;
+//  2. actions not reported by Enabled refuse to fire;
+//  3. Enabled itself does not mutate the configuration;
+//  4. snapshots round-trip (Restore(Snapshot()) is the identity).
+//
+// The protocol must implement Snapshotter (to rewind between probes)
+// and Randomizer (to sample configurations). actionSpace is the
+// (inclusive) largest action ID to probe for rule 2.
+func CheckContract(p Protocol, actionSpace ActionID, configs int, rng *rand.Rand) error {
+	snap, ok := p.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("program: %s has no snapshots; cannot check contract", p.Name())
+	}
+	rnd, ok := p.(Randomizer)
+	if !ok {
+		return fmt.Errorf("program: %s has no randomizer; cannot check contract", p.Name())
+	}
+	g := p.Graph()
+	var buf []ActionID
+	for c := 0; c < configs; c++ {
+		rnd.Randomize(rng)
+		base := snap.Snapshot()
+
+		// Rule 4: snapshot round-trip.
+		if err := snap.Restore(base); err != nil {
+			return fmt.Errorf("program: %s restore own snapshot: %w", p.Name(), err)
+		}
+		if got := snap.Snapshot(); string(got) != string(base) {
+			return fmt.Errorf("program: %s snapshot does not round-trip (config %d)", p.Name(), c)
+		}
+
+		for v := 0; v < g.N(); v++ {
+			id := graph.NodeID(v)
+			buf = p.Enabled(id, buf[:0])
+
+			// Rule 3: Enabled is read-only.
+			if got := snap.Snapshot(); string(got) != string(base) {
+				return fmt.Errorf("program: %s Enabled(%d) mutated the configuration (config %d)", p.Name(), v, c)
+			}
+
+			enabled := make(map[ActionID]bool, len(buf))
+			for _, a := range buf {
+				enabled[a] = true
+			}
+
+			// Rule 1: enabled actions fire.
+			for _, a := range buf {
+				if !p.Execute(id, a) {
+					return fmt.Errorf("program: %s enabled action %s at node %d refused to fire (config %d)",
+						p.Name(), ActionName(p, a), v, c)
+				}
+				if err := snap.Restore(base); err != nil {
+					return fmt.Errorf("program: %s restore: %w", p.Name(), err)
+				}
+			}
+
+			// Rule 2: disabled actions refuse and leave no trace.
+			for a := ActionID(0); a <= actionSpace; a++ {
+				if enabled[a] {
+					continue
+				}
+				if p.Execute(id, a) {
+					return fmt.Errorf("program: %s disabled action %s at node %d fired (config %d)",
+						p.Name(), ActionName(p, a), v, c)
+				}
+				if got := snap.Snapshot(); string(got) != string(base) {
+					return fmt.Errorf("program: %s refused action %s at node %d still mutated state (config %d)",
+						p.Name(), ActionName(p, a), v, c)
+				}
+			}
+		}
+	}
+	return nil
+}

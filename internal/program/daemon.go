@@ -1,0 +1,20 @@
+package program
+
+import "netorient/internal/graph"
+
+// Candidate lists the enabled actions of one enabled processor at the
+// start of a step.
+type Candidate struct {
+	Node    graph.NodeID
+	Actions []ActionID
+}
+
+// Daemon selects which enabled processors move in each step (§2.1.2).
+// Select receives every enabled processor with its enabled actions and
+// returns a non-empty sequence of moves, at most one per processor; the
+// runner executes them in order with guard re-validation. Select must
+// not retain cands or the Actions slices past the call.
+type Daemon interface {
+	Name() string
+	Select(cands []Candidate) []Move
+}

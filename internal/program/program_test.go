@@ -1,0 +1,273 @@
+package program
+
+import (
+	"errors"
+	"testing"
+
+	"netorient/internal/graph"
+)
+
+// counterProto is a toy silent protocol: every node must reach the
+// value of its smallest-id neighbour plus one (node 0 wants 0); it
+// converges like a distance computation and is handy for exercising
+// the runner.
+type counterProto struct {
+	g   *graph.Graph
+	val []int
+}
+
+func newCounterProto(g *graph.Graph) *counterProto {
+	return &counterProto{g: g, val: make([]int, g.N())}
+}
+
+func (p *counterProto) Name() string        { return "counter" }
+func (p *counterProto) Graph() *graph.Graph { return p.g }
+
+func (p *counterProto) want(v graph.NodeID) int {
+	if v == 0 {
+		return 0
+	}
+	min := 1 << 30
+	for _, q := range p.g.Neighbors(v) {
+		if p.val[q] < min {
+			min = p.val[q]
+		}
+	}
+	return min + 1
+}
+
+func (p *counterProto) Enabled(v graph.NodeID, buf []ActionID) []ActionID {
+	if p.val[v] != p.want(v) {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func (p *counterProto) Execute(v graph.NodeID, a ActionID) bool {
+	if a != 0 || p.val[v] == p.want(v) {
+		return false
+	}
+	p.val[v] = p.want(v)
+	return true
+}
+
+func (p *counterProto) Legitimate() bool {
+	for v := range p.val {
+		if p.val[v] != p.want(graph.NodeID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickFirst is a minimal daemon for runner tests.
+type pickFirst struct{}
+
+func (pickFirst) Name() string { return "pick-first" }
+func (pickFirst) Select(cands []Candidate) []Move {
+	return []Move{{Node: cands[0].Node, Action: cands[0].Actions[0]}}
+}
+
+// pickAll activates everything.
+type pickAll struct{}
+
+func (pickAll) Name() string { return "pick-all" }
+func (pickAll) Select(cands []Candidate) []Move {
+	out := make([]Move, len(cands))
+	for i, c := range cands {
+		out[i] = Move{Node: c.Node, Action: c.Actions[0]}
+	}
+	return out
+}
+
+func TestSystemRunsToSilence(t *testing.T) {
+	g := graph.Path(5)
+	p := newCounterProto(g)
+	for v := range p.val {
+		p.val[v] = 42 // corrupt
+	}
+	sys := NewSystem(p, pickFirst{})
+	res, err := sys.RunUntilLegitimate(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if !sys.Silent() {
+		t.Fatal("converged but not silent")
+	}
+	if sys.Moves() == 0 || sys.Steps() == 0 {
+		t.Fatal("counters not advanced")
+	}
+}
+
+func TestSystemCountsMovesAndSteps(t *testing.T) {
+	g := graph.Path(3)
+	p := newCounterProto(g)
+	p.val = []int{9, 9, 9}
+	sys := NewSystem(p, pickAll{})
+	fired, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("no moves fired")
+	}
+	if sys.Steps() != 1 {
+		t.Fatalf("steps %d, want 1", sys.Steps())
+	}
+	if sys.Moves() != int64(fired) {
+		t.Fatalf("moves %d, want %d", sys.Moves(), fired)
+	}
+}
+
+func TestSystemRoundsUnderSynchronousLikeDaemon(t *testing.T) {
+	// Under pick-all with guard re-validation, the counter protocol on
+	// a path of length L needs about L rounds (information flows one
+	// hop per round at worst).
+	g := graph.Path(10)
+	p := newCounterProto(g)
+	for v := range p.val {
+		p.val[v] = 99
+	}
+	sys := NewSystem(p, pickAll{})
+	res, err := sys.RunUntilLegitimate(100000)
+	if err != nil || !res.Converged {
+		t.Fatalf("no convergence: %v %+v", err, res)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("rounds not counted")
+	}
+	if res.Rounds > int64(3*g.N()) {
+		t.Fatalf("rounds %d, want O(n)", res.Rounds)
+	}
+}
+
+func TestSystemTerminalWithoutLegitimacy(t *testing.T) {
+	// RunUntil with an unsatisfiable predicate on a silent protocol
+	// reports non-convergence once terminal.
+	g := graph.Path(3)
+	p := newCounterProto(g)
+	sys := NewSystem(p, pickFirst{})
+	res, err := sys.RunUntil(func() bool { return false }, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged on an unsatisfiable predicate")
+	}
+	if !sys.Silent() {
+		t.Fatal("system should be terminal")
+	}
+}
+
+func TestSystemNoDaemon(t *testing.T) {
+	g := graph.Path(2)
+	p := newCounterProto(g)
+	sys := NewSystem(p, nil)
+	if _, err := sys.Step(); !errors.Is(err, ErrNoDaemon) {
+		t.Fatalf("got %v, want ErrNoDaemon", err)
+	}
+}
+
+func TestRunUntilLegitimateRequiresPredicate(t *testing.T) {
+	// A protocol without Legitimacy cannot be run to legitimacy.
+	g := graph.Path(2)
+	sys := NewSystem(struct{ Protocol }{newCounterProto(g)}, pickFirst{})
+	if _, err := sys.RunUntilLegitimate(10); err == nil {
+		t.Fatal("expected error for protocol without legitimacy predicate")
+	}
+}
+
+func TestHoldsFor(t *testing.T) {
+	g := graph.Path(4)
+	p := newCounterProto(g)
+	sys := NewSystem(p, pickFirst{})
+	if res, err := sys.RunUntilLegitimate(1000); err != nil || !res.Converged {
+		t.Fatalf("setup failed: %v %+v", err, res)
+	}
+	ok, err := sys.HoldsFor(p.Legitimate, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("closure violated for a silent legitimate protocol")
+	}
+	// A predicate that is currently false fails immediately.
+	ok, err = sys.HoldsFor(func() bool { return false }, 5)
+	if err != nil || ok {
+		t.Fatalf("HoldsFor(false) = %v,%v; want false,nil", ok, err)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	g := graph.Path(4)
+	p := newCounterProto(g)
+	p.val = []int{5, 5, 5, 5}
+	sys := NewSystem(p, pickFirst{})
+	if _, err := sys.RunUntilLegitimate(1000); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetCounters()
+	if sys.Moves() != 0 || sys.Steps() != 0 || sys.Rounds() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestMoveHook(t *testing.T) {
+	g := graph.Path(3)
+	p := newCounterProto(g)
+	p.val = []int{7, 7, 7}
+	sys := NewSystem(p, pickFirst{})
+	var seen []Move
+	sys.MoveHook = func(m Move) { seen = append(seen, m) }
+	if _, err := sys.RunUntilLegitimate(1000); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(seen)) != sys.Moves() {
+		t.Fatalf("hook saw %d moves, system counted %d", len(seen), sys.Moves())
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// spacedProto wraps counterProto with a SpaceMeter.
+type spacedProto struct{ *counterProto }
+
+func (p spacedProto) StateBits(v graph.NodeID) int { return 8 + int(v) }
+
+func TestMeasureSpace(t *testing.T) {
+	g := graph.Path(3)
+	p := spacedProto{newCounterProto(g)}
+	rep, ok := MeasureSpace(p)
+	if !ok {
+		t.Fatal("SpaceMeter not detected")
+	}
+	if rep.TotalBits != 8+9+10 {
+		t.Errorf("total %d, want 27", rep.TotalBits)
+	}
+	if rep.MinNodeBits != 8 || rep.MaxNodeBits != 10 {
+		t.Errorf("min/max %d/%d, want 8/10", rep.MinNodeBits, rep.MaxNodeBits)
+	}
+	if _, ok := MeasureSpace(newCounterProto(g)); ok {
+		t.Error("non-metered protocol should report !ok")
+	}
+}
+
+func TestActionNameFallback(t *testing.T) {
+	g := graph.Path(2)
+	p := newCounterProto(g)
+	if got := ActionName(p, 3); got != "A3" {
+		t.Errorf("fallback name %q, want A3", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package program defines the execution model of the paper (§2.1): a
+// protocol is a finite set of guarded actions over locally-shared
+// variables; a daemon repeatedly selects enabled processors; the
+// selected processors atomically execute one enabled action each.
+//
+// Protocols expose their guards through Enabled and their statements
+// through Execute; a System drives a protocol under a Daemon and
+// accounts for moves (single action executions) and rounds (minimal
+// computation segments in which every continuously-enabled processor
+// moves or becomes disabled).
+package program
+
+import (
+	"math/rand"
+
+	"netorient/internal/graph"
+)
+
+// ActionID identifies one guarded action of a protocol. IDs are
+// protocol-specific and contiguous from 0.
+type ActionID int
+
+// Move is one atomic action execution by one processor.
+type Move struct {
+	Node   graph.NodeID
+	Action ActionID
+}
+
+// Protocol is a distributed guarded-command program in the paper's
+// locally-shared-variable model. Implementations keep all per-node
+// state internally; Enabled must be read-only.
+type Protocol interface {
+	// Name identifies the protocol in traces and tables.
+	Name() string
+	// Graph returns the communication graph the protocol runs on.
+	Graph() *graph.Graph
+	// Enabled appends to buf the IDs of the actions whose guards hold
+	// at node v, and returns the extended slice. Passing a reused
+	// buffer avoids per-step allocations.
+	Enabled(v graph.NodeID, buf []ActionID) []ActionID
+	// Execute atomically re-evaluates the guard of action a at node v
+	// and, if it still holds, runs the action's statement. It reports
+	// whether the action fired. Re-evaluation makes sequentialised
+	// distributed-daemon steps safe: a sub-move whose guard was
+	// invalidated by an earlier sub-move of the same step is skipped.
+	Execute(v graph.NodeID, a ActionID) bool
+}
+
+// Legitimacy is implemented by protocols that can decide their
+// legitimacy predicate L_P on the current configuration.
+type Legitimacy interface {
+	Legitimate() bool
+}
+
+// Snapshotter is implemented by protocols whose configuration can be
+// captured and restored. Snapshots must be canonical: two equal
+// configurations yield identical bytes. The model checker and the
+// fault injector both rely on this.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore(data []byte) error
+}
+
+// Randomizer is implemented by protocols that can re-initialise
+// themselves to an arbitrary (adversarial) configuration, exercising
+// the "starting from an arbitrary state" half of self-stabilization.
+type Randomizer interface {
+	Randomize(rng *rand.Rand)
+}
+
+// NodeCorruptor is implemented by protocols that can hit a single
+// processor with a transient fault, i.e. overwrite its local
+// variables with arbitrary values of their domains. Fault-injection
+// campaigns (package fault) measure recovery from k-node corruption.
+type NodeCorruptor interface {
+	CorruptNode(v graph.NodeID, rng *rand.Rand)
+}
+
+// SpaceMeter is implemented by protocols that report the size of their
+// per-node state, in bits, under the paper's accounting (variables
+// ranging over 0..N-1 cost ⌈log₂N⌉ bits, per-edge variables cost
+// Δ_v·⌈log₂N⌉, …).
+type SpaceMeter interface {
+	StateBits(v graph.NodeID) int
+}
+
+// ActionNamer is implemented by protocols that can render action IDs
+// for traces.
+type ActionNamer interface {
+	ActionName(a ActionID) string
+}
+
+// ActionName renders action a of p, falling back to a numeric form.
+func ActionName(p Protocol, a ActionID) string {
+	if n, ok := p.(ActionNamer); ok {
+		return n.ActionName(a)
+	}
+	return "A" + itoa(int(a))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,219 @@
+package program
+
+import (
+	"errors"
+	"fmt"
+
+	"netorient/internal/graph"
+)
+
+// ErrNoDaemon is returned by System methods when no daemon was set.
+var ErrNoDaemon = errors.New("program: system has no daemon")
+
+// System drives one protocol under one daemon and accounts for moves
+// and rounds. It is not safe for concurrent use.
+type System struct {
+	proto  Protocol
+	daemon Daemon
+
+	moves  int64
+	steps  int64
+	rounds int64
+
+	// Round bookkeeping: pending holds the processors that were
+	// enabled when the current round began and have neither moved nor
+	// been seen disabled since.
+	pending map[graph.NodeID]bool
+
+	// Reusable buffers.
+	cands  []Candidate
+	selBuf []ActionID
+
+	// MoveHook, when non-nil, observes every executed move.
+	MoveHook func(Move)
+}
+
+// NewSystem returns a System for proto under d.
+func NewSystem(proto Protocol, d Daemon) *System {
+	return &System{proto: proto, daemon: d}
+}
+
+// Protocol returns the protocol under execution.
+func (s *System) Protocol() Protocol { return s.proto }
+
+// Moves returns the number of action executions so far.
+func (s *System) Moves() int64 { return s.moves }
+
+// Steps returns the number of daemon steps so far.
+func (s *System) Steps() int64 { return s.steps }
+
+// Rounds returns the number of completed rounds so far. A round is the
+// minimal computation segment in which every processor that was
+// continuously enabled since the segment began has executed a move or
+// become disabled — the standard asynchronous time unit.
+func (s *System) Rounds() int64 { return s.rounds }
+
+// ResetCounters zeroes the move/step/round counters and restarts round
+// tracking from the current configuration. Use it to measure the cost
+// of a phase that starts "now" (e.g. orientation after the substrate
+// has stabilized, as in §3.2.3).
+func (s *System) ResetCounters() {
+	s.moves, s.steps, s.rounds = 0, 0, 0
+	s.pending = nil
+}
+
+// enabledCandidates gathers the enabled processors into s.cands.
+func (s *System) enabledCandidates() []Candidate {
+	g := s.proto.Graph()
+	s.cands = s.cands[:0]
+	for v := 0; v < g.N(); v++ {
+		s.selBuf = s.proto.Enabled(graph.NodeID(v), s.selBuf[:0])
+		if len(s.selBuf) == 0 {
+			continue
+		}
+		actions := make([]ActionID, len(s.selBuf))
+		copy(actions, s.selBuf)
+		s.cands = append(s.cands, Candidate{Node: graph.NodeID(v), Actions: actions})
+	}
+	return s.cands
+}
+
+// Step performs one daemon step: gather enabled processors, let the
+// daemon select, execute the selection in order with guard
+// re-validation. It returns the number of moves that fired; 0 with a
+// nil error means the configuration is terminal (no enabled actions).
+func (s *System) Step() (int, error) {
+	if s.daemon == nil {
+		return 0, ErrNoDaemon
+	}
+	cands := s.enabledCandidates()
+	if s.pending == nil {
+		s.beginRound(cands)
+	}
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	selected := s.daemon.Select(cands)
+	if len(selected) == 0 {
+		return 0, fmt.Errorf("program: daemon %q selected no move from %d candidates", s.daemon.Name(), len(cands))
+	}
+	fired := 0
+	for _, mv := range selected {
+		if s.proto.Execute(mv.Node, mv.Action) {
+			fired++
+			s.moves++
+			delete(s.pending, mv.Node)
+			if s.MoveHook != nil {
+				s.MoveHook(mv)
+			}
+		}
+	}
+	s.steps++
+	s.settleRound()
+	return fired, nil
+}
+
+// beginRound records the processors enabled at round start.
+func (s *System) beginRound(cands []Candidate) {
+	s.pending = make(map[graph.NodeID]bool, len(cands))
+	for _, c := range cands {
+		s.pending[c.Node] = true
+	}
+}
+
+// settleRound discharges pending processors that are now disabled and
+// closes the round when none remain.
+func (s *System) settleRound() {
+	for v := range s.pending {
+		s.selBuf = s.proto.Enabled(v, s.selBuf[:0])
+		if len(s.selBuf) == 0 {
+			delete(s.pending, v)
+		}
+	}
+	if len(s.pending) == 0 {
+		s.rounds++
+		s.beginRound(s.enabledCandidates())
+	}
+}
+
+// RunResult reports the outcome of a Run* call.
+type RunResult struct {
+	Converged bool
+	Moves     int64
+	Steps     int64
+	Rounds    int64
+}
+
+// RunUntil steps the system until pred returns true, the configuration
+// becomes terminal, or maxSteps steps have been taken. pred is checked
+// on the initial configuration and after every step.
+func (s *System) RunUntil(pred func() bool, maxSteps int64) (RunResult, error) {
+	start := RunResult{Moves: s.moves, Steps: s.steps, Rounds: s.rounds}
+	mk := func(conv bool) RunResult {
+		return RunResult{
+			Converged: conv,
+			Moves:     s.moves - start.Moves,
+			Steps:     s.steps - start.Steps,
+			Rounds:    s.rounds - start.Rounds,
+		}
+	}
+	if pred() {
+		return mk(true), nil
+	}
+	for i := int64(0); i < maxSteps; i++ {
+		n, err := s.Step()
+		if err != nil {
+			return mk(false), err
+		}
+		if pred() {
+			return mk(true), nil
+		}
+		if n == 0 {
+			// Terminal configuration that does not satisfy pred.
+			return mk(false), nil
+		}
+	}
+	return mk(false), nil
+}
+
+// RunUntilLegitimate runs until the protocol's legitimacy predicate
+// holds. The protocol must implement Legitimacy.
+func (s *System) RunUntilLegitimate(maxSteps int64) (RunResult, error) {
+	leg, ok := s.proto.(Legitimacy)
+	if !ok {
+		return RunResult{}, fmt.Errorf("program: protocol %q has no legitimacy predicate", s.proto.Name())
+	}
+	return s.RunUntil(leg.Legitimate, maxSteps)
+}
+
+// HoldsFor verifies closure empirically: it steps the system extra
+// times and reports whether the predicate held after every step. The
+// system must currently satisfy pred.
+func (s *System) HoldsFor(pred func() bool, steps int64) (bool, error) {
+	if !pred() {
+		return false, nil
+	}
+	for i := int64(0); i < steps; i++ {
+		n, err := s.Step()
+		if err != nil {
+			return false, err
+		}
+		if !pred() {
+			return false, nil
+		}
+		if n == 0 {
+			return true, nil
+		}
+	}
+	return true, nil
+}
+
+// Silent reports whether no action is enabled anywhere.
+func (s *System) Silent() bool {
+	return len(s.enabledCandidates()) == 0
+}
+
+// EnabledCount returns the number of currently enabled processors.
+func (s *System) EnabledCount() int {
+	return len(s.enabledCandidates())
+}

@@ -1,0 +1,53 @@
+package program
+
+import (
+	"math/bits"
+
+	"netorient/internal/graph"
+)
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 — the bit cost of a variable
+// ranging over n values under the paper's space accounting.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 1 // even a constant-range variable occupies one bit
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// SpaceReport summarises the memory footprint of a protocol under the
+// paper's accounting (§3.2.3, §4.2.3).
+type SpaceReport struct {
+	TotalBits   int
+	MaxNodeBits int
+	MinNodeBits int
+	AvgNodeBits float64
+}
+
+// MeasureSpace computes a SpaceReport for a protocol implementing
+// SpaceMeter.
+func MeasureSpace(p Protocol) (SpaceReport, bool) {
+	m, ok := p.(SpaceMeter)
+	if !ok {
+		return SpaceReport{}, false
+	}
+	g := p.Graph()
+	var r SpaceReport
+	r.MinNodeBits = int(^uint(0) >> 1)
+	for v := 0; v < g.N(); v++ {
+		b := m.StateBits(graph.NodeID(v))
+		r.TotalBits += b
+		if b > r.MaxNodeBits {
+			r.MaxNodeBits = b
+		}
+		if b < r.MinNodeBits {
+			r.MinNodeBits = b
+		}
+	}
+	if g.N() > 0 {
+		r.AvgNodeBits = float64(r.TotalBits) / float64(g.N())
+	} else {
+		r.MinNodeBits = 0
+	}
+	return r, true
+}

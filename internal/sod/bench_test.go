@@ -1,0 +1,55 @@
+package sod
+
+import (
+	"testing"
+
+	"netorient/internal/graph"
+)
+
+func benchLabeling(b *testing.B, g *graph.Graph) *Labeling {
+	b.Helper()
+	names := make([]int, g.N())
+	for i := range names {
+		names[i] = i
+	}
+	return FromNames(g, names, g.N())
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g := graph.Complete(64)
+	l := benchLabeling(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Validate(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromNames(b *testing.B) {
+	g := graph.Complete(64)
+	names := make([]int, g.N())
+	for i := range names {
+		names[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l := FromNames(g, names, g.N()); l == nil {
+			b.Fatal("nil labeling")
+		}
+	}
+}
+
+func BenchmarkRouteRing(b *testing.B) {
+	g := graph.Ring(256)
+	l := benchLabeling(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Route(g, 0, 128, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sod
+
+import (
+	"errors"
+	"fmt"
+
+	"netorient/internal/graph"
+)
+
+// Routing errors.
+var (
+	// ErrNoRoute is returned when greedy routing cannot make progress.
+	ErrNoRoute = errors.New("sod: greedy routing stuck")
+	// ErrUnknownName is returned for a target name no node carries.
+	ErrUnknownName = errors.New("sod: unknown target name")
+)
+
+// NextHopGreedy picks the port to forward a message for targetName
+// from node v using only the chordal labels: a neighbour reached over
+// a label-l edge carries name (η_v − l) mod N, so the node can compute
+// the remaining cyclic distance after every possible hop and chooses
+// the port that minimizes it — strictly improving, or -1 if v already
+// carries targetName or no neighbour improves. This greedy rule is
+// optimal on rings and cliques and locally computable (the point of
+// the sense of direction) on arbitrary graphs.
+func (l *Labeling) NextHopGreedy(v graph.NodeID, targetName int) int {
+	cur := CyclicDistance(l.Names[v], targetName, l.Modulus)
+	if cur == 0 {
+		return -1
+	}
+	bestPort, bestDist := -1, cur
+	for port := range l.Labels[v] {
+		after := CyclicDistance(l.TranslateName(v, port), targetName, l.Modulus)
+		if after < bestDist {
+			bestDist, bestPort = after, port
+		}
+	}
+	return bestPort
+}
+
+// Route greedily routes from node v to the node named targetName and
+// returns the node path including both endpoints. It fails with
+// ErrNoRoute if a cycle is detected or maxHops is exceeded.
+func (l *Labeling) Route(g *graph.Graph, v graph.NodeID, targetName, maxHops int) ([]graph.NodeID, error) {
+	if l.NodeByName(targetName) == graph.None {
+		return nil, fmt.Errorf("%w %d", ErrUnknownName, targetName)
+	}
+	path := []graph.NodeID{v}
+	seen := map[graph.NodeID]bool{v: true}
+	cur := v
+	for hop := 0; hop < maxHops; hop++ {
+		if l.Names[cur] == targetName {
+			return path, nil
+		}
+		port := l.NextHopGreedy(cur, targetName)
+		if port < 0 {
+			return nil, ErrNoRoute
+		}
+		next := g.Neighbor(cur, port)
+		if seen[next] {
+			return nil, fmt.Errorf("%w: revisited node %d", ErrNoRoute, next)
+		}
+		seen[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	if l.Names[cur] == targetName {
+		return path, nil
+	}
+	return nil, fmt.Errorf("%w: hop limit %d", ErrNoRoute, maxHops)
+}

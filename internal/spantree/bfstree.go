@@ -1,0 +1,216 @@
+package spantree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// BFSTree is the classic self-stabilizing breadth-first spanning tree:
+// the root holds distance 0; every other node sets its distance to one
+// more than its smallest neighbouring distance (capped at n, the
+// "infinite" value) and adopts the first such neighbour in port order
+// as its parent. The protocol is silent and self-stabilizing under the
+// unfair distributed daemon: distances converge level by level to the
+// true BFS distances, after which no action is enabled.
+type BFSTree struct {
+	g    *graph.Graph
+	root graph.NodeID
+
+	dist []int
+	par  []graph.NodeID
+
+	// wantDist caches the true BFS distances for the legitimacy
+	// predicate.
+	wantDist []int
+}
+
+// ActFix is BFSTree's single action: recompute distance and parent.
+const ActFix program.ActionID = 0
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol    = (*BFSTree)(nil)
+	_ program.Legitimacy  = (*BFSTree)(nil)
+	_ program.Snapshotter = (*BFSTree)(nil)
+	_ program.Randomizer  = (*BFSTree)(nil)
+	_ program.SpaceMeter  = (*BFSTree)(nil)
+	_ program.ActionNamer = (*BFSTree)(nil)
+	_ Substrate           = (*BFSTree)(nil)
+)
+
+// NewBFSTree returns a BFSTree on g rooted at root, starting from the
+// all-infinite configuration (a worst case; use Randomize for
+// adversarial starts).
+func NewBFSTree(g *graph.Graph, root graph.NodeID) (*BFSTree, error) {
+	if root < 0 || int(root) >= g.N() {
+		return nil, fmt.Errorf("spantree: root %d out of range for %s", root, g)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	t := &BFSTree{
+		g:    g,
+		root: root,
+		dist: make([]int, g.N()),
+		par:  make([]graph.NodeID, g.N()),
+	}
+	for v := range t.dist {
+		t.dist[v] = g.N()
+		t.par[v] = graph.None
+	}
+	t.wantDist, _ = graph.BFSFrom(g, root)
+	return t, nil
+}
+
+// Name implements program.Protocol.
+func (t *BFSTree) Name() string { return "bfstree" }
+
+// Graph implements program.Protocol.
+func (t *BFSTree) Graph() *graph.Graph { return t.g }
+
+// Root implements Substrate.
+func (t *BFSTree) Root() graph.NodeID { return t.root }
+
+// Parent implements Substrate.
+func (t *BFSTree) Parent(v graph.NodeID) graph.NodeID {
+	if v == t.root {
+		return graph.None
+	}
+	return t.par[v]
+}
+
+// Dist returns v's current distance variable.
+func (t *BFSTree) Dist(v graph.NodeID) int { return t.dist[v] }
+
+// desired returns the distance and parent v's action would write.
+func (t *BFSTree) desired(v graph.NodeID) (int, graph.NodeID) {
+	if v == t.root {
+		return 0, graph.None
+	}
+	min := t.g.N()
+	for _, q := range t.g.Neighbors(v) {
+		if t.dist[q] < min {
+			min = t.dist[q]
+		}
+	}
+	if min >= t.g.N() {
+		return t.g.N(), graph.None
+	}
+	d := min + 1
+	if d > t.g.N() {
+		d = t.g.N()
+	}
+	for _, q := range t.g.Neighbors(v) {
+		if t.dist[q] == min {
+			return d, q
+		}
+	}
+	return d, graph.None
+}
+
+// Enabled implements program.Protocol.
+func (t *BFSTree) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	d, p := t.desired(v)
+	if t.dist[v] != d || t.par[v] != p {
+		buf = append(buf, ActFix)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol.
+func (t *BFSTree) Execute(v graph.NodeID, a program.ActionID) bool {
+	if a != ActFix {
+		return false
+	}
+	d, p := t.desired(v)
+	if t.dist[v] == d && t.par[v] == p {
+		return false
+	}
+	t.dist[v] = d
+	t.par[v] = p
+	return true
+}
+
+// ActionName implements program.ActionNamer.
+func (t *BFSTree) ActionName(a program.ActionID) string { return "FixDist" }
+
+// Stable implements Substrate.
+func (t *BFSTree) Stable() bool { return t.Legitimate() }
+
+// Legitimate implements program.Legitimacy: every node holds the true
+// BFS distance and the first minimal neighbour as parent.
+func (t *BFSTree) Legitimate() bool {
+	for v := 0; v < t.g.N(); v++ {
+		d, p := t.desired(graph.NodeID(v))
+		if t.dist[v] != d || t.par[v] != p || t.dist[v] != t.wantDist[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements program.Snapshotter.
+func (t *BFSTree) Snapshot() []byte {
+	buf := make([]byte, 0, t.g.N()*8)
+	var tmp [4]byte
+	for v := 0; v < t.g.N(); v++ {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(t.dist[v])))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(t.par[v])))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Restore implements program.Snapshotter.
+func (t *BFSTree) Restore(data []byte) error {
+	if len(data) != t.g.N()*8 {
+		return fmt.Errorf("spantree: snapshot length %d, want %d", len(data), t.g.N()*8)
+	}
+	off := 0
+	for v := 0; v < t.g.N(); v++ {
+		t.dist[v] = int(int32(binary.LittleEndian.Uint32(data[off:])))
+		off += 4
+		t.par[v] = graph.NodeID(int32(binary.LittleEndian.Uint32(data[off:])))
+		off += 4
+		if t.dist[v] < 0 {
+			t.dist[v] = 0
+		}
+		if t.dist[v] > t.g.N() {
+			t.dist[v] = t.g.N()
+		}
+		if t.par[v] != graph.None && !t.g.HasEdge(graph.NodeID(v), t.par[v]) {
+			t.par[v] = graph.None
+		}
+	}
+	return nil
+}
+
+// CorruptNode implements program.NodeCorruptor.
+func (t *BFSTree) CorruptNode(v graph.NodeID, rng *rand.Rand) {
+	t.dist[v] = rng.Intn(t.g.N() + 1)
+	if rng.Intn(2) == 0 {
+		t.par[v] = graph.None
+	} else {
+		t.par[v] = t.g.Neighbor(v, rng.Intn(t.g.Degree(v)))
+	}
+}
+
+// Randomize implements program.Randomizer.
+func (t *BFSTree) Randomize(rng *rand.Rand) {
+	for v := 0; v < t.g.N(); v++ {
+		t.CorruptNode(graph.NodeID(v), rng)
+	}
+}
+
+// StateBits implements program.SpaceMeter: dist costs ⌈log₂(N+1)⌉
+// bits, the parent pointer ⌈log₂(Δ_v+1)⌉ — the O(Δ×log N) extra space
+// Chapter 5 charges STNO for maintaining the tree comes from the
+// orientation layer's per-child Start array, not from this substrate.
+func (t *BFSTree) StateBits(v graph.NodeID) int {
+	return program.Log2Ceil(t.g.N()+1) + program.Log2Ceil(t.g.Degree(v)+2)
+}

@@ -1,0 +1,305 @@
+package spantree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// DFSTree is a Collin–Dolev style self-stabilizing depth-first
+// spanning tree. Every node maintains the port-path from the root that
+// is minimal in lexicographic order (element-wise on outgoing port
+// numbers, with a proper prefix smaller than its extensions); the
+// minimal path to each node is exactly the path the deterministic
+// depth-first traversal first reaches it by, so the resulting parent
+// pointers form the DFS tree of the network in port order — the tree
+// under which STNO reproduces DFTNO's naming (Chapter 5).
+//
+// The protocol is a monotone fixpoint computation: each node
+// repeatedly recomputes the minimum over its neighbours' paths
+// extended by one hop; paths longer than n−1 hops are invalid (⊥).
+// It is silent and self-stabilizing under the unfair daemon.
+type DFSTree struct {
+	g    *graph.Graph
+	root graph.NodeID
+
+	// path[v] is v's current port-path; nil means ⊥ (invalid).
+	path [][]int
+
+	// want caches the true minimal paths for the legitimacy predicate.
+	want [][]int
+}
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol    = (*DFSTree)(nil)
+	_ program.Legitimacy  = (*DFSTree)(nil)
+	_ program.Snapshotter = (*DFSTree)(nil)
+	_ program.Randomizer  = (*DFSTree)(nil)
+	_ program.SpaceMeter  = (*DFSTree)(nil)
+	_ program.ActionNamer = (*DFSTree)(nil)
+	_ Substrate           = (*DFSTree)(nil)
+)
+
+// NewDFSTree returns a DFSTree on g rooted at root, starting from the
+// all-⊥ configuration.
+func NewDFSTree(g *graph.Graph, root graph.NodeID) (*DFSTree, error) {
+	if root < 0 || int(root) >= g.N() {
+		return nil, fmt.Errorf("spantree: root %d out of range for %s", root, g)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	t := &DFSTree{
+		g:    g,
+		root: root,
+		path: make([][]int, g.N()),
+	}
+	t.want = referencePaths(g, root)
+	return t, nil
+}
+
+// referencePaths computes the true lexicographically-minimal port
+// paths by simulating the deterministic DFS traversal: the first path
+// the traversal reaches a node by is its minimal path.
+func referencePaths(g *graph.Graph, root graph.NodeID) [][]int {
+	want := make([][]int, g.N())
+	visited := make([]bool, g.N())
+	visited[root] = true
+	want[root] = []int{}
+	var visit func(v graph.NodeID)
+	visit = func(v graph.NodeID) {
+		for port, q := range g.Neighbors(v) {
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			p := make([]int, len(want[v])+1)
+			copy(p, want[v])
+			p[len(p)-1] = port
+			want[q] = p
+			visit(q)
+		}
+	}
+	visit(root)
+	return want
+}
+
+// lexLess compares two paths; nil (⊥) is greater than everything, and
+// a proper prefix is smaller than its extensions.
+func lexLess(a, b []int) bool {
+	if a == nil {
+		return false
+	}
+	if b == nil {
+		return true
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func pathEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// desired returns the path v's action would write: the root writes the
+// empty path; every other node writes the minimal one-hop extension of
+// a neighbour's path, or ⊥ when every candidate is ⊥ or too long.
+func (t *DFSTree) desired(v graph.NodeID) []int {
+	if v == t.root {
+		return []int{}
+	}
+	var best []int
+	for _, q := range t.g.Neighbors(v) {
+		pq := t.path[q]
+		if pq == nil || len(pq)+1 > t.g.N()-1 {
+			continue
+		}
+		port, _ := t.g.PortOf(q, v)
+		cand := make([]int, len(pq)+1)
+		copy(cand, pq)
+		cand[len(cand)-1] = port
+		if lexLess(cand, best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// Enabled implements program.Protocol.
+func (t *DFSTree) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	if !pathEqual(t.path[v], t.desired(v)) {
+		buf = append(buf, ActFix)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol.
+func (t *DFSTree) Execute(v graph.NodeID, a program.ActionID) bool {
+	if a != ActFix {
+		return false
+	}
+	d := t.desired(v)
+	if pathEqual(t.path[v], d) {
+		return false
+	}
+	t.path[v] = d
+	return true
+}
+
+// Name implements program.Protocol.
+func (t *DFSTree) Name() string { return "dfstree" }
+
+// Graph implements program.Protocol.
+func (t *DFSTree) Graph() *graph.Graph { return t.g }
+
+// ActionName implements program.ActionNamer.
+func (t *DFSTree) ActionName(a program.ActionID) string { return "FixPath" }
+
+// Root implements Substrate.
+func (t *DFSTree) Root() graph.NodeID { return t.root }
+
+// Parent implements Substrate: the neighbour whose path v's path
+// extends, i.e. the neighbour q with path_v = path_q ++ [port of v at
+// q]; None while v's path is ⊥ or inconsistent.
+func (t *DFSTree) Parent(v graph.NodeID) graph.NodeID {
+	if v == t.root || t.path[v] == nil || len(t.path[v]) == 0 {
+		return graph.None
+	}
+	last := t.path[v][len(t.path[v])-1]
+	prefix := t.path[v][:len(t.path[v])-1]
+	for _, q := range t.g.Neighbors(v) {
+		if t.path[q] == nil || len(t.path[q]) != len(prefix) {
+			continue
+		}
+		port, _ := t.g.PortOf(q, v)
+		if port == last && pathEqual(t.path[q], prefix) {
+			return q
+		}
+	}
+	return graph.None
+}
+
+// Path returns v's current port-path (nil for ⊥). The slice is shared;
+// callers must not modify it.
+func (t *DFSTree) Path(v graph.NodeID) []int { return t.path[v] }
+
+// Stable implements Substrate.
+func (t *DFSTree) Stable() bool { return t.Legitimate() }
+
+// Legitimate implements program.Legitimacy: every node holds the true
+// minimal path.
+func (t *DFSTree) Legitimate() bool {
+	for v := 0; v < t.g.N(); v++ {
+		if !pathEqual(t.path[v], t.want[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements program.Snapshotter.
+func (t *DFSTree) Snapshot() []byte {
+	var buf []byte
+	var tmp [4]byte
+	for v := 0; v < t.g.N(); v++ {
+		if t.path[v] == nil {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(0xffffffff))
+			buf = append(buf, tmp[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(t.path[v])))
+		buf = append(buf, tmp[:]...)
+		for _, p := range t.path[v] {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(int32(p)))
+			buf = append(buf, tmp[:]...)
+		}
+	}
+	return buf
+}
+
+// Restore implements program.Snapshotter.
+func (t *DFSTree) Restore(data []byte) error {
+	off := 0
+	read := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("spantree: truncated snapshot")
+		}
+		x := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return x, nil
+	}
+	for v := 0; v < t.g.N(); v++ {
+		l, err := read()
+		if err != nil {
+			return err
+		}
+		if l == 0xffffffff {
+			t.path[v] = nil
+			continue
+		}
+		if int(l) > t.g.N() {
+			return fmt.Errorf("spantree: path length %d too large", l)
+		}
+		p := make([]int, l)
+		for i := range p {
+			x, err := read()
+			if err != nil {
+				return err
+			}
+			p[i] = int(int32(x))
+		}
+		t.path[v] = p
+	}
+	if off != len(data) {
+		return fmt.Errorf("spantree: trailing snapshot bytes")
+	}
+	return nil
+}
+
+// CorruptNode implements program.NodeCorruptor: v takes a random
+// (possibly infeasible) path of bounded length, or ⊥.
+func (t *DFSTree) CorruptNode(v graph.NodeID, rng *rand.Rand) {
+	maxLen := t.g.N() - 1
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	if rng.Intn(3) == 0 {
+		t.path[v] = nil
+		return
+	}
+	l := rng.Intn(maxLen + 1)
+	p := make([]int, l)
+	for i := range p {
+		p[i] = rng.Intn(t.g.MaxDegree())
+	}
+	t.path[v] = p
+}
+
+// Randomize implements program.Randomizer.
+func (t *DFSTree) Randomize(rng *rand.Rand) {
+	for v := 0; v < t.g.N(); v++ {
+		t.CorruptNode(graph.NodeID(v), rng)
+	}
+}
+
+// StateBits implements program.SpaceMeter: a path stores up to n−1
+// port numbers — the O(n·log Δ) cost known for Collin–Dolev trees.
+func (t *DFSTree) StateBits(v graph.NodeID) int {
+	return (t.g.N() - 1) * program.Log2Ceil(t.g.MaxDegree()+1)
+}

@@ -1,0 +1,53 @@
+// Package spantree implements the spanning-tree substrates that STNO
+// (Chapter 4 of the paper) is layered on. The paper allows "any
+// self-stabilizing spanning tree construction algorithm"; this package
+// provides three:
+//
+//   - BFSTree — the classic min-distance breadth-first spanning tree
+//     (Chen–Yu–Huang / Dolev–Israeli–Moran style), self-stabilizing
+//     under the unfair daemon, which is exactly the daemon the paper
+//     prescribes for STNO's substrate.
+//   - DFSTree — a Collin–Dolev style lexicographic depth-first
+//     spanning tree, used to reproduce the paper's Chapter 5
+//     observation that STNO over a DFS tree names nodes exactly like
+//     DFTNO.
+//   - Oracle — a fixed, correct-by-construction tree with no actions,
+//     for testing the orientation layer in isolation.
+package spantree
+
+import "netorient/internal/graph"
+
+// Substrate is the read interface the orientation layer needs from a
+// spanning-tree protocol: the parent pointer A_p of every node (§2.1.1)
+// and the substrate's own legitimacy, used in L_ST ∧ SP1 ∧ SP2.
+type Substrate interface {
+	// Root returns the distinguished root processor r.
+	Root() graph.NodeID
+	// Parent returns A_v under the current configuration (None for
+	// the root or an unset pointer). Orientation-layer guards read
+	// this on every evaluation, so it must be cheap.
+	Parent(v graph.NodeID) graph.NodeID
+	// Stable reports the substrate's legitimacy predicate L_ST.
+	Stable() bool
+}
+
+// Children collects, in the parent's port order, the current children
+// of v under the substrate's parent pointers: the paper's D_p set.
+// The result is appended to buf.
+func Children(g *graph.Graph, sub Substrate, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+	for _, q := range g.Neighbors(v) {
+		if sub.Parent(q) == v {
+			buf = append(buf, q)
+		}
+	}
+	return buf
+}
+
+// ParentVector materialises the substrate's parent pointers.
+func ParentVector(g *graph.Graph, sub Substrate) []graph.NodeID {
+	out := make([]graph.NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = sub.Parent(graph.NodeID(v))
+	}
+	return out
+}

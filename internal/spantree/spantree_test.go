@@ -1,0 +1,274 @@
+package spantree
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/check"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path5":    graph.Path(5),
+		"ring6":    graph.Ring(6),
+		"star6":    graph.Star(6),
+		"clique5":  graph.Complete(5),
+		"grid3x3":  graph.Grid(3, 3),
+		"tree7":    graph.KAryTree(7, 2),
+		"lollipop": graph.Lollipop(4, 3),
+		"wheel7":   graph.Wheel(7),
+	}
+}
+
+func TestBFSTreeConvergesToBFSDistances(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewBFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := program.NewSystem(tr, daemon.NewRoundRobin())
+			res, err := sys.RunUntilLegitimate(int64(1000 * g.N() * g.N()))
+			if err != nil || !res.Converged {
+				t.Fatalf("no convergence: %v %+v", err, res)
+			}
+			wantDist, _ := graph.BFSFrom(g, 0)
+			for v := 0; v < g.N(); v++ {
+				if tr.Dist(graph.NodeID(v)) != wantDist[v] {
+					t.Errorf("dist[%d] = %d, want %d", v, tr.Dist(graph.NodeID(v)), wantDist[v])
+				}
+			}
+			if !graph.SpanningParent(g, ParentVector(g, tr), 0) {
+				t.Error("parent pointers do not form a spanning tree")
+			}
+			if !sys.Silent() {
+				t.Error("BFS tree not silent after stabilization")
+			}
+		})
+	}
+}
+
+func TestBFSTreeConvergesFromRandomStates(t *testing.T) {
+	daemons := map[string]func(int64) program.Daemon{
+		"central":     func(s int64) program.Daemon { return daemon.NewCentral(s) },
+		"distributed": func(s int64) program.Daemon { return daemon.NewDistributed(s, 0.5) },
+		"synchronous": func(s int64) program.Daemon { return daemon.NewSynchronous(s) },
+	}
+	for name, g := range testGraphs() {
+		for dn, mk := range daemons {
+			t.Run(name+"/"+dn, func(t *testing.T) {
+				tr, err := NewBFSTree(g, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(8))
+				for trial := 0; trial < 15; trial++ {
+					tr.Randomize(rng)
+					sys := program.NewSystem(tr, mk(int64(trial)))
+					res, err := sys.RunUntilLegitimate(int64(2000 * g.N()))
+					if err != nil || !res.Converged {
+						t.Fatalf("trial %d: %v %+v", trial, err, res)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBFSTreeModelCheck machine-verifies self-stabilization of the
+// BFS tree on small graphs.
+func TestBFSTreeModelCheck(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path3":    graph.Path(3),
+		"triangle": graph.Complete(3),
+		"path4":    graph.Path(4),
+		"ring4":    graph.Ring(4),
+		"star4":    graph.Star(4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewBFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			seeds, err := check.RandomSeeds(tr, 200, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := check.Verify(tr, check.Options{Seeds: seeds, MaxStates: 2_000_000})
+			if err != nil {
+				t.Fatalf("self-stabilization violated: %v", err)
+			}
+			t.Logf("%s: %d states (%d legitimate), worst distance %d",
+				name, rep.States, rep.LegitStates, rep.MaxStepsToLegit)
+		})
+	}
+}
+
+func TestBFSTreeStabilizesInDiameterRounds(t *testing.T) {
+	// The classic bound: O(D) rounds under the synchronous daemon.
+	g := graph.Path(20)
+	tr, err := NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	tr.Randomize(rng)
+	sys := program.NewSystem(tr, daemon.NewSynchronous(2))
+	res, err := sys.RunUntilLegitimate(1 << 20)
+	if err != nil || !res.Converged {
+		t.Fatalf("no convergence: %v %+v", err, res)
+	}
+	if res.Rounds > int64(3*g.N()) {
+		t.Errorf("took %d rounds, want O(n)=%d", res.Rounds, 3*g.N())
+	}
+}
+
+func TestDFSTreeConvergesToDFSTree(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewDFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := program.NewSystem(tr, daemon.NewRoundRobin())
+			res, err := sys.RunUntilLegitimate(int64(2000 * g.N() * g.N()))
+			if err != nil || !res.Converged {
+				t.Fatalf("no convergence: %v %+v", err, res)
+			}
+			_, wantParent := graph.DFSPreorder(g, 0)
+			for v := 1; v < g.N(); v++ {
+				if got := tr.Parent(graph.NodeID(v)); got != wantParent[v] {
+					t.Errorf("parent[%d] = %d, want DFS parent %d", v, got, wantParent[v])
+				}
+			}
+			if !sys.Silent() {
+				t.Error("DFS tree not silent after stabilization")
+			}
+		})
+	}
+}
+
+func TestDFSTreeConvergesFromRandomStates(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewDFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(16))
+			for trial := 0; trial < 10; trial++ {
+				tr.Randomize(rng)
+				sys := program.NewSystem(tr, daemon.NewCentral(int64(trial)))
+				res, err := sys.RunUntilLegitimate(int64(4000 * g.N()))
+				if err != nil || !res.Converged {
+					t.Fatalf("trial %d: %v %+v", trial, err, res)
+				}
+			}
+		})
+	}
+}
+
+// TestDFSTreeModelCheck machine-verifies self-stabilization of the
+// DFS tree on small graphs.
+func TestDFSTreeModelCheck(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path3":    graph.Path(3),
+		"triangle": graph.Complete(3),
+		"star4":    graph.Star(4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewDFSTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			seeds, err := check.RandomSeeds(tr, 150, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := check.Verify(tr, check.Options{Seeds: seeds, MaxStates: 2_000_000})
+			if err != nil {
+				t.Fatalf("self-stabilization violated: %v", err)
+			}
+			t.Logf("%s: %d states (%d legitimate), worst distance %d",
+				name, rep.States, rep.LegitStates, rep.MaxStepsToLegit)
+		})
+	}
+}
+
+func TestDFSTreeLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{0}, []int{1}, true},
+		{[]int{1}, []int{0}, false},
+		{[]int{0, 5}, []int{1}, true},
+		{[]int{0}, []int{0, 1}, true},  // prefix smaller
+		{[]int{0, 1}, []int{0}, false}, // extension larger
+		{nil, []int{9, 9, 9}, false},   // ⊥ greatest
+		{[]int{9, 9, 9}, nil, true},
+		{nil, nil, false},
+		{[]int{}, []int{0}, true}, // root path smallest
+		{[]int{2, 3}, []int{2, 3}, false},
+	}
+	for i, c := range cases {
+		if got := lexLess(c.a, c.b); got != c.want {
+			t.Errorf("case %d: lexLess(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOracleSubstrate(t *testing.T) {
+	g := graph.Grid(3, 3)
+	o, err := NewDFSOracle(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Stable() || !o.Legitimate() {
+		t.Fatal("oracle must be stable")
+	}
+	_, wantParent := graph.DFSPreorder(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if o.Parent(graph.NodeID(v)) != wantParent[v] {
+			t.Errorf("oracle parent[%d] = %d, want %d", v, o.Parent(graph.NodeID(v)), wantParent[v])
+		}
+	}
+	var buf []program.ActionID
+	for v := 0; v < g.N(); v++ {
+		if len(o.Enabled(graph.NodeID(v), buf[:0])) != 0 {
+			t.Error("oracle has enabled actions")
+		}
+	}
+	// Invalid parent vectors are rejected.
+	bad := make([]graph.NodeID, g.N())
+	for i := range bad {
+		bad[i] = graph.None
+	}
+	if _, err := NewOracle(g, 0, bad); err == nil {
+		t.Error("expected error for non-spanning parent vector")
+	}
+}
+
+func TestChildrenAreInPortOrder(t *testing.T) {
+	g := graph.Star(6)
+	o, err := NewBFSOracle(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := Children(g, o, 0, nil)
+	if len(kids) != 5 {
+		t.Fatalf("root of star has %d children, want 5", len(kids))
+	}
+	for i, q := range kids {
+		if q != g.Neighbor(0, i) {
+			t.Errorf("child %d = %d, want port order %d", i, q, g.Neighbor(0, i))
+		}
+	}
+}

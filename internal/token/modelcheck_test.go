@@ -1,0 +1,70 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/check"
+	"netorient/internal/graph"
+)
+
+// TestCirculatorModelCheck machine-verifies self-stabilization of the
+// token circulation on small graphs: from a seed set of randomized and
+// clean configurations, the entire reachable configuration space is
+// explored under the central daemon and checked for convergence (no
+// illegitimate cycle, no illegitimate terminal configuration) and
+// closure (legitimate configurations only reach legitimate ones).
+func TestCirculatorModelCheck(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path3":    graph.Path(3),
+		"triangle": graph.Complete(3),
+		"path4":    graph.Path(4),
+		"star4":    graph.Star(4),
+		"ring4":    graph.Ring(4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCirculator(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			seeds, err := check.RandomSeeds(c, 120, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := check.Verify(c, check.Options{Seeds: seeds, MaxStates: 2_000_000})
+			if err != nil {
+				t.Fatalf("self-stabilization violated: %v", err)
+			}
+			if rep.LegitStates == 0 {
+				t.Fatal("no legitimate configuration reachable")
+			}
+			t.Logf("%s: %d states (%d legitimate), %d transitions, worst distance to legitimacy %d",
+				name, rep.States, rep.LegitStates, rep.Transitions, rep.MaxStepsToLegit)
+		})
+	}
+}
+
+// TestCirculatorModelCheckRing5 is a slightly larger instance, kept
+// separate so -short runs stay fast.
+func TestCirculatorModelCheckRing5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping large model check in -short mode")
+	}
+	g := graph.Ring(5)
+	c, err := NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	seeds, err := check.RandomSeeds(c, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := check.Verify(c, check.Options{Seeds: seeds, MaxStates: 4_000_000})
+	if err != nil {
+		t.Fatalf("self-stabilization violated: %v", err)
+	}
+	t.Logf("ring5: %d states (%d legitimate), worst distance %d", rep.States, rep.LegitStates, rep.MaxStepsToLegit)
+}

@@ -1,0 +1,180 @@
+package token
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// eventKind discriminates Oracle trace entries.
+type eventKind uint8
+
+const (
+	evRootStart eventKind = iota + 1
+	evForward
+	evBacktrack
+)
+
+// oracleEvent is one token movement in the ideal circulation.
+type oracleEvent struct {
+	kind  eventKind
+	actor graph.NodeID // the processor executing the move
+	other graph.NodeID // parent (forward) or child (backtrack)
+}
+
+// Oracle is a correct-by-construction token circulation layer: it
+// replays the ideal deterministic DFS circulation of the graph,
+// exposing exactly one enabled processor at a time. It is not
+// self-stabilizing (its single position variable is its whole state);
+// it exists so the orientation layer can be unit-tested against a
+// substrate that is legitimate by definition, matching the paper's
+// layered correctness argument.
+type Oracle struct {
+	g      *graph.Graph
+	root   graph.NodeID
+	ev     Events
+	events []oracleEvent
+	parent []graph.NodeID
+	pos    int
+}
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol    = (*Oracle)(nil)
+	_ program.Legitimacy  = (*Oracle)(nil)
+	_ program.Snapshotter = (*Oracle)(nil)
+	_ program.Randomizer  = (*Oracle)(nil)
+	_ program.SpaceMeter  = (*Oracle)(nil)
+	_ Substrate           = (*Oracle)(nil)
+)
+
+// NewOracle returns an Oracle for g rooted at root, positioned at the
+// start of a round.
+func NewOracle(g *graph.Graph, root graph.NodeID) (*Oracle, error) {
+	if root < 0 || int(root) >= g.N() {
+		return nil, fmt.Errorf("token: root %d out of range for %s", root, g)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrNotConnected
+	}
+	o := &Oracle{g: g, root: root}
+	o.build()
+	return o, nil
+}
+
+// build precomputes one round's event trace by recursive DFS in port
+// order.
+func (o *Oracle) build() {
+	n := o.g.N()
+	o.parent = make([]graph.NodeID, n)
+	visited := make([]bool, n)
+	for i := range o.parent {
+		o.parent[i] = graph.None
+	}
+	o.events = append(o.events[:0], oracleEvent{kind: evRootStart, actor: o.root, other: graph.None})
+	var visit func(v graph.NodeID)
+	visit = func(v graph.NodeID) {
+		visited[v] = true
+		for _, q := range o.g.Neighbors(v) {
+			if visited[q] {
+				continue
+			}
+			o.parent[q] = v
+			o.events = append(o.events, oracleEvent{kind: evForward, actor: q, other: v})
+			visit(q)
+			o.events = append(o.events, oracleEvent{kind: evBacktrack, actor: v, other: q})
+		}
+	}
+	visit(o.root)
+}
+
+// Name implements program.Protocol.
+func (o *Oracle) Name() string { return "dftc-oracle" }
+
+// Graph implements program.Protocol.
+func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// Root implements Substrate.
+func (o *Oracle) Root() graph.NodeID { return o.root }
+
+// Parent implements Substrate.
+func (o *Oracle) Parent(v graph.NodeID) graph.NodeID { return o.parent[v] }
+
+// SetObserver implements Substrate.
+func (o *Oracle) SetObserver(ev Events) { o.ev = ev }
+
+// HasToken implements Substrate.
+func (o *Oracle) HasToken(v graph.NodeID) bool {
+	return o.events[o.pos].actor == v
+}
+
+// RoundLength returns the number of moves in one circulation round.
+func (o *Oracle) RoundLength() int { return len(o.events) }
+
+// Enabled implements program.Protocol: exactly the next event's actor
+// is enabled, with the single action 0.
+func (o *Oracle) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	if o.events[o.pos].actor == v {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol.
+func (o *Oracle) Execute(v graph.NodeID, a program.ActionID) bool {
+	e := o.events[o.pos]
+	if a != 0 || e.actor != v {
+		return false
+	}
+	o.pos = (o.pos + 1) % len(o.events)
+	if o.ev != nil {
+		switch e.kind {
+		case evRootStart:
+			o.ev.OnRootStart(e.actor)
+		case evForward:
+			o.ev.OnForward(e.actor, e.other)
+		case evBacktrack:
+			o.ev.OnBacktrack(e.actor, e.other)
+		}
+	}
+	return true
+}
+
+// Legitimate implements program.Legitimacy; the Oracle is legitimate
+// by construction.
+func (o *Oracle) Legitimate() bool { return true }
+
+// Snapshot implements program.Snapshotter.
+func (o *Oracle) Snapshot() []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(o.pos))
+	return buf[:]
+}
+
+// Restore implements program.Snapshotter.
+func (o *Oracle) Restore(data []byte) error {
+	if len(data) != 4 {
+		return fmt.Errorf("token: oracle snapshot length %d, want 4", len(data))
+	}
+	pos := int(binary.LittleEndian.Uint32(data))
+	if pos < 0 || pos >= len(o.events) {
+		return fmt.Errorf("token: oracle position %d out of range [0,%d)", pos, len(o.events))
+	}
+	o.pos = pos
+	return nil
+}
+
+// Randomize implements program.Randomizer: the circulation resumes
+// from an arbitrary point of the round.
+func (o *Oracle) Randomize(rng *rand.Rand) {
+	o.pos = rng.Intn(len(o.events))
+}
+
+// StateBits implements program.SpaceMeter: the oracle's global
+// position amortised per node.
+func (o *Oracle) StateBits(graph.NodeID) int {
+	return program.Log2Ceil(len(o.events)) / o.g.N()
+}

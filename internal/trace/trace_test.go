@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{4, 1, 3, 2, 5})
+	if st.Count != 5 || st.Min != 1 || st.Max != 5 || st.Median != 3 || st.Mean != 3 {
+		t.Fatalf("stats %+v wrong", st)
+	}
+	if math.Abs(st.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev %v, want √2", st.StdDev)
+	}
+	if st.P95 < 4.5 || st.P95 > 5 {
+		t.Errorf("p95 %v out of range", st.P95)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if st := Summarize(nil); st.Count != 0 {
+		t.Error("empty sample should be zero")
+	}
+	st := Summarize([]float64{7})
+	if st.Min != 7 || st.Max != 7 || st.Median != 7 || st.P95 != 7 || st.StdDev != 0 {
+		t.Errorf("singleton stats %+v wrong", st)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	st := SummarizeInts([]int64{10, 20, 30})
+	if st.Mean != 20 || st.Median != 20 {
+		t.Errorf("int stats %+v wrong", st)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize sorted the caller's slice")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: demo", "topology", "n", "rounds")
+	tb.AddRow("ring", 16, 3.50)
+	tb.AddRow("clique", 8, 1.0)
+	if tb.Rows() != 2 {
+		t.Fatalf("rows %d, want 2", tb.Rows())
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1: demo", "topology", "ring", "clique", "3.5", "--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Title + header + rule + two data rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("csv %q", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:    "1",
+		1.5:    "1.5",
+		1.25:   "1.25",
+		1.2345: "1.23",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
