@@ -80,6 +80,11 @@ func BenchmarkT9Election(b *testing.B) { runExperiment(b, "T9") }
 // BenchmarkT10Routing regenerates the greedy-routing stretch table.
 func BenchmarkT10Routing(b *testing.B) { runExperiment(b, "T10") }
 
+// BenchmarkT11Scheduler regenerates the incremental-vs-full-scan
+// scheduler comparison (BENCH_scheduler.json holds the committed
+// baseline from a full benchtab run).
+func BenchmarkT11Scheduler(b *testing.B) { runExperiment(b, "T11") }
+
 // Micro-benchmarks of the moving parts, with shape metrics reported
 // per operation.
 
@@ -152,6 +157,142 @@ func BenchmarkSTNOStabilizeFromRandom(b *testing.B) {
 		s.Randomize(rng)
 		sys := program.NewSystem(s, daemon.NewCentral(int64(i)))
 		res, err := sys.RunUntilLegitimate(1 << 24)
+		if err != nil || !res.Converged {
+			b.Fatalf("no convergence: %v", err)
+		}
+		total += res.Moves
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "moves/stabilization")
+}
+
+// newGridDFTNO builds the full DFTNO stack on an r×c grid.
+func newGridDFTNO(b *testing.B, r, c int) *core.DFTNO {
+	b.Helper()
+	g := graph.Grid(r, c)
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// benchSteps drives b.N daemon steps of sys mid-stabilization,
+// re-randomizing (outside the timer) in the unlikely event the
+// configuration goes terminal.
+func benchSteps(b *testing.B, sys *program.System, d *core.DFTNO, rng *rand.Rand) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := sys.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.StopTimer()
+			d.Randomize(rng)
+			sys.Invalidate()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkStepIncremental measures one daemon step of the default
+// event-driven scheduler on a 64×64 grid (n=4096) mid-stabilization:
+// guard work is confined to the dirty set of the last move, so the
+// per-step cost is O(Δ) guard evaluations plus candidate maintenance,
+// and steady-state stepping allocates nothing.
+func BenchmarkStepIncremental(b *testing.B) {
+	d := newGridDFTNO(b, 64, 64)
+	rng := rand.New(rand.NewSource(3))
+	d.Randomize(rng)
+	sys := program.NewSystem(d, daemon.NewCentral(7))
+	if _, err := sys.Step(); err != nil { // pay the bootstrap scan once
+		b.Fatal(err)
+	}
+	benchSteps(b, sys, d, rng)
+}
+
+// BenchmarkStepFullScan is the same workload under the legacy oracle,
+// which re-evaluates all 4096 nodes' guards every step — the ≥5×
+// (in practice orders-of-magnitude) comparison point recorded in
+// CHANGES.md.
+func BenchmarkStepFullScan(b *testing.B) {
+	d := newGridDFTNO(b, 64, 64)
+	rng := rand.New(rand.NewSource(3))
+	d.Randomize(rng)
+	sys := program.NewSystemFullScan(d, daemon.NewCentral(7))
+	if _, err := sys.Step(); err != nil {
+		b.Fatal(err)
+	}
+	benchSteps(b, sys, d, rng)
+}
+
+// BenchmarkStepIncrementalSteadyState measures the pure steady state:
+// the stabilized token circulation on a 64-ring steps forever with
+// exactly one enabled processor, and the incremental scheduler must
+// not allocate at all.
+func BenchmarkStepIncrementalSteadyState(b *testing.B) {
+	g := graph.Ring(64)
+	c, err := token.NewCirculator(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := program.NewSystem(c, daemon.NewDeterministic())
+	if _, err := sys.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDFTNOStabilizeFromRandomFullScan is the 4×4 stabilization
+// workload above under the legacy full-scan oracle, for an in-repo
+// end-to-end before/after (the grid is small enough that the oracle
+// finishes; on the 64×64 grid it would take hours).
+func BenchmarkDFTNOStabilizeFromRandomFullScan(b *testing.B) {
+	d := newGridDFTNO(b, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Randomize(rng)
+		sys := program.NewSystemFullScan(d, daemon.NewCentral(int64(i)))
+		res, err := sys.RunUntilLegitimate(1 << 24)
+		if err != nil || !res.Converged {
+			b.Fatalf("no convergence: %v", err)
+		}
+		total += res.Moves
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "moves/stabilization")
+}
+
+// BenchmarkDFTNOStabilizeLarge runs the full stack to legitimacy from
+// an arbitrary configuration on a 64×64 grid (n=4096, m=8064) — the
+// scale the incremental scheduler exists for. Skipped under -short.
+func BenchmarkDFTNOStabilizeLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-graph stabilization skipped in short mode")
+	}
+	d := newGridDFTNO(b, 64, 64)
+	rng := rand.New(rand.NewSource(1))
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Randomize(rng)
+		sys := program.NewSystem(d, daemon.NewCentral(int64(i)))
+		res, err := sys.RunUntilLegitimate(1 << 40)
 		if err != nil || !res.Converged {
 			b.Fatalf("no convergence: %v", err)
 		}

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|F1,F2,...] [-seed N] [-quick] [-csv]
+//	benchtab [-exp all|F1,F2,...] [-seed N] [-quick] [-csv] [-json]
+//
+// With -json the selected tables are written as a JSON array of
+// {title, headers, rows} objects — the format of the committed
+// BENCH_*.json baselines, e.g.:
+//
+//	benchtab -exp T11 -json > BENCH_scheduler.json
 package main
 
 import (
@@ -31,6 +37,7 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "smaller sweeps")
 		trials  = fs.Int("trials", 0, "override per-point trials (0 = default)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = fs.Bool("json", false, "emit a JSON array of tables (for BENCH_*.json baselines)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,10 +51,28 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expList, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T8)", id)
+				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T11)", id)
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *jsonOut {
+		fmt.Println("[")
+		for i, e := range selected {
+			if i > 0 {
+				fmt.Println(",")
+			}
+			tb, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if err := tb.RenderJSON(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println("]")
+		return nil
 	}
 
 	for i, e := range selected {

@@ -11,6 +11,26 @@
 // benchmark harness that regenerates every figure and complexity claim of
 // the paper's evaluation.
 //
+// # Execution engine
+//
+// Simulations run on an event-driven incremental scheduler
+// (internal/program.System): the runner caches every node's
+// enabled-action list and, after a move at v, re-evaluates guards only
+// for v's closed neighbourhood — or the wider set a protocol declares
+// through the program.Influencer locality contract (STNO over a DFS
+// tree reads two hops). The dirty-set invariant — cached guards always
+// equal a fresh evaluation — makes a daemon step cost O(Δ) guard
+// evaluations instead of Θ(n), allocates nothing in steady state, and
+// produces bit-identical executions (moves, steps, rounds, final
+// configuration) to the full-scan reference runner, which
+// program.NewSystemFullScan keeps available as a differential-testing
+// oracle. Every protocol package declares and documents its influence
+// audit; program.CheckLocality verifies the declarations empirically,
+// and the differential suite in internal/program locksteps both
+// schedulers across every protocol × daemon combination. Experiment
+// T11 (BENCH_scheduler.json) records the resulting speedup on graphs
+// up to 16k nodes.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;
 // the runnable entry points are the programs in cmd/ and examples/.

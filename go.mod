@@ -1,0 +1,3 @@
+module netorient
+
+go 1.24

@@ -5,6 +5,13 @@
 // broadcast and depth-first traversal with and without a chordal sense
 // of direction and report exact message counts, which experiment T5
 // compares.
+//
+// Locality audit (program.Influencer): nothing to declare here — the
+// broadcast, traversal and election procedures (including the ring
+// elections in election.go) are one-shot message-passing simulations,
+// not guarded-command protocols, so they never run under a
+// program.System and the incremental scheduler's locality contract
+// does not apply to them.
 package apps
 
 import (

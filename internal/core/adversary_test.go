@@ -15,6 +15,7 @@ import (
 // for an unfair daemon for STNO's substrate, so any scheduler that
 // keeps selecting enabled processors must do.
 func TestSTNOConvergesUnderAdversarialDaemons(t *testing.T) {
+	t.Parallel()
 	g := graph.Grid(3, 3)
 	adversaries := map[string]program.Daemon{
 		// Always pick the highest-id enabled processor (starves low
@@ -84,6 +85,7 @@ func TestSTNOConvergesUnderAdversarialDaemons(t *testing.T) {
 // by construction; serving the substrate first (as in the test above)
 // or any randomized daemon converges.
 func TestSTNOComposedNeedsFairComposition(t *testing.T) {
+	t.Parallel()
 	g := graph.Grid(3, 3)
 	starveSubstrate := daemon.NewAdversarial("orientation-first", func(cands []program.Candidate) []program.Move {
 		best := cands[0]
@@ -122,6 +124,7 @@ func TestSTNOComposedNeedsFairComposition(t *testing.T) {
 // the DFS-tree equivalence with DFTNO still holds under the new
 // ordering (both derive their order from the same ports).
 func TestSTNORunsOnReorderedPorts(t *testing.T) {
+	t.Parallel()
 	base := graph.Grid(3, 3)
 	rng := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 5; trial++ {

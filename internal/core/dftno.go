@@ -65,6 +65,7 @@ var (
 	_ program.Randomizer  = (*DFTNO)(nil)
 	_ program.SpaceMeter  = (*DFTNO)(nil)
 	_ program.ActionNamer = (*DFTNO)(nil)
+	_ program.Influencer  = (*DFTNO)(nil)
 	_ token.Events        = (*DFTNO)(nil)
 )
 
@@ -284,6 +285,21 @@ func (d *DFTNO) Execute(v graph.NodeID, a program.ActionID) bool {
 	return d.sub.Execute(v, a)
 }
 
+// Influence implements program.Influencer, documenting the locality
+// audit for the composed protocol: substrate statements write only v's
+// substrate variables, and the event hooks they trigger (Nodelabel,
+// UpdateMax) write only η_v and Max_v — OnForward reads the parent's
+// Max but writes at v, OnBacktrack reads the child's Max but writes at
+// v. The edge-labeling statement writes only π_v. Every composed guard
+// at a node reads one hop at most: the substrate's own guards and
+// HasToken are 1-hop by the substrate's declaration, and
+// InvalidEdgelabel compares π_v against the η of v and its
+// neighbours. A move at v therefore changes guards in v's closed
+// 1-hop neighbourhood only.
+func (d *DFTNO) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	return program.InfluenceClosedNeighborhood(d.g, v, buf)
+}
+
 // ActionName implements program.ActionNamer.
 func (d *DFTNO) ActionName(a program.ActionID) string {
 	if a == ActEdgeLabel {
@@ -302,12 +318,20 @@ func (d *DFTNO) Legitimate() bool {
 	if !d.sub.Legitimate() {
 		return false
 	}
+	// Cheap necessary conditions first: the predicate runs after every
+	// step in RunUntilLegitimate loops, and the name comparison fails
+	// fast without the substrate snapshot the Max check needs.
+	for v := 0; v < d.g.N(); v++ {
+		if d.eta[v] != d.refNames[v] {
+			return false
+		}
+	}
 	wantMax, ok := d.cycle[string(d.sub.Snapshot())]
 	if !ok {
 		return false
 	}
 	for v := 0; v < d.g.N(); v++ {
-		if d.eta[v] != d.refNames[v] || d.max[v] != wantMax[v] {
+		if d.max[v] != wantMax[v] {
 			return false
 		}
 		if d.invalidEdgeLabel(graph.NodeID(v)) {

@@ -23,6 +23,7 @@ import (
 // one — the starvation is impossible and DFTNO converges, which the
 // exhaustive check confirms.
 func TestDFTNOEdgeLabelNeedsStrongFairness(t *testing.T) {
+	t.Parallel()
 	g := graph.Path(3)
 	sub, err := token.NewCirculator(g, 0)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 // exceed its domain) and verifies convergence anyway: every
 // orientation variable is overwritten within one clean round.
 func TestDFTNOHealsOutOfDomainValues(t *testing.T) {
+	t.Parallel()
 	g := graph.Grid(3, 3)
 	sub, err := token.NewCirculator(g, 0)
 	if err != nil {
@@ -46,6 +47,7 @@ func TestDFTNOHealsOutOfDomainValues(t *testing.T) {
 
 // TestSTNOHealsOutOfDomainValues is the STNO counterpart.
 func TestSTNOHealsOutOfDomainValues(t *testing.T) {
+	t.Parallel()
 	g := graph.Grid(3, 3)
 	sub, err := spantree.NewBFSTree(g, 0)
 	if err != nil {
@@ -79,6 +81,7 @@ func TestSTNOHealsOutOfDomainValues(t *testing.T) {
 // Restore implementations: they must either reject them or accept
 // them without panicking, never crash.
 func TestRestoreRejectsGarbageBytes(t *testing.T) {
+	t.Parallel()
 	g := graph.Ring(5)
 	sub, err := token.NewCirculator(g, 0)
 	if err != nil {
@@ -115,6 +118,7 @@ func TestRestoreRejectsGarbageBytes(t *testing.T) {
 // stacks converge and produce the same deterministic naming as a
 // fresh construction.
 func TestConvergencePropertyRandomGraphs(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, nRaw, extraRaw uint8) bool {
 		n := 3 + int(nRaw%10)
 		rng := rand.New(rand.NewSource(seed))

@@ -57,6 +57,12 @@ type STNO struct {
 	pi     [][]int
 
 	childBuf []graph.NodeID
+
+	// subBall lazily caches, per node, the influence ball substrate
+	// moves need (radius 1 + Substrate.ParentLocality); nil entries are
+	// unbuilt. Unused (and unallocated) when the radius is 1.
+	subBall    [][]graph.NodeID
+	subBallRad int
 }
 
 // Compile-time interface compliance.
@@ -67,6 +73,7 @@ var (
 	_ program.Randomizer  = (*STNO)(nil)
 	_ program.SpaceMeter  = (*STNO)(nil)
 	_ program.ActionNamer = (*STNO)(nil)
+	_ program.Influencer  = (*STNO)(nil)
 )
 
 // NewSTNO layers the orientation protocol over sub. modulus is N (0
@@ -93,6 +100,10 @@ func NewSTNO(g *graph.Graph, sub TreeSubstrate, modulus int) (*STNO, error) {
 		deg := g.Degree(graph.NodeID(v))
 		s.start[v] = make([]int, deg)
 		s.pi[v] = make([]int, deg)
+	}
+	s.subBallRad = 1 + sub.ParentLocality()
+	if s.subBallRad > 1 {
+		s.subBall = make([][]graph.NodeID, g.N())
 	}
 	return s, nil
 }
@@ -252,6 +263,28 @@ func (s *STNO) Execute(v graph.NodeID, a program.ActionID) bool {
 	default:
 		return s.sub.Execute(v, a)
 	}
+}
+
+// Influence implements program.Influencer, documenting the locality
+// audit for the composed protocol. STNO's own statements (CalcWeight,
+// NameAndDistribute, EdgeLabel) write only Weight_v, η_v, Start_v and
+// π_v, all of which are read one hop away at most (a neighbour's
+// weight/name guards, the Start entry a child copies its name from,
+// the η that edge labels compare against), so those actions influence
+// the closed 1-hop neighbourhood. Substrate moves are the non-local
+// case: STNO guards consult Parent(q) for each neighbour q, and
+// Parent itself may read ParentLocality() hops around q (a DFS tree
+// derives the parent from the neighbours' path variables), so a
+// substrate move at v reaches guards up to 1+ParentLocality() hops
+// out. The balls are precomputed per node on first use.
+func (s *STNO) Influence(v graph.NodeID, a program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	if a >= ActWeight || s.subBallRad <= 1 {
+		return program.InfluenceClosedNeighborhood(s.g, v, buf)
+	}
+	if s.subBall[v] == nil {
+		s.subBall[v] = program.InfluenceBall(s.g, v, s.subBallRad, nil)
+	}
+	return append(buf, s.subBall[v]...)
 }
 
 // ActionName implements program.ActionNamer.

@@ -5,7 +5,10 @@
 // daemon, and an adversarial daemon driven by a caller-supplied policy.
 //
 // All randomized daemons draw exclusively from an injected seed, so
-// every experiment is reproducible.
+// every experiment is reproducible. Daemons reuse their selection
+// buffer across Select calls (the runner consumes the returned moves
+// within the step, per the program.Daemon contract), so steady-state
+// scheduling allocates nothing.
 package daemon
 
 import (
@@ -30,6 +33,7 @@ var (
 // probability 1.
 type Central struct {
 	rng *rand.Rand
+	buf []program.Move
 }
 
 // NewCentral returns a Central daemon seeded with seed.
@@ -43,7 +47,8 @@ func (d *Central) Name() string { return "central" }
 // Select implements program.Daemon.
 func (d *Central) Select(cands []program.Candidate) []program.Move {
 	c := cands[d.rng.Intn(len(cands))]
-	return []program.Move{{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]}}
+	d.buf = append(d.buf[:0], program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+	return d.buf
 }
 
 // Synchronous activates every enabled processor in each step. The
@@ -51,6 +56,7 @@ func (d *Central) Select(cands []program.Candidate) []program.Move {
 // uniformly among each processor's enabled actions.
 type Synchronous struct {
 	rng *rand.Rand
+	buf []program.Move
 }
 
 // NewSynchronous returns a Synchronous daemon seeded with seed.
@@ -63,11 +69,12 @@ func (d *Synchronous) Name() string { return "synchronous" }
 
 // Select implements program.Daemon.
 func (d *Synchronous) Select(cands []program.Candidate) []program.Move {
-	moves := make([]program.Move, len(cands))
-	for i, c := range cands {
-		moves[i] = program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]}
+	moves := d.buf[:0]
+	for _, c := range cands {
+		moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
 	}
 	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+	d.buf = moves
 	return moves
 }
 
@@ -78,6 +85,7 @@ func (d *Synchronous) Select(cands []program.Candidate) []program.Move {
 // chosen uniformly so the step is productive.
 type Distributed struct {
 	rng *rand.Rand
+	buf []program.Move
 	// P is the per-processor inclusion probability, (0,1].
 	P float64
 }
@@ -96,7 +104,7 @@ func (d *Distributed) Name() string { return "distributed" }
 
 // Select implements program.Daemon.
 func (d *Distributed) Select(cands []program.Candidate) []program.Move {
-	moves := make([]program.Move, 0, len(cands))
+	moves := d.buf[:0]
 	for _, c := range cands {
 		if d.rng.Float64() < d.P {
 			moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
@@ -107,6 +115,7 @@ func (d *Distributed) Select(cands []program.Candidate) []program.Move {
 		moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
 	}
 	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
+	d.buf = moves
 	return moves
 }
 
@@ -116,6 +125,7 @@ func (d *Distributed) Select(cands []program.Candidate) []program.Move {
 // n steps.
 type RoundRobin struct {
 	next int
+	buf  []program.Move
 }
 
 // NewRoundRobin returns a RoundRobin daemon starting at node 0.
@@ -134,7 +144,8 @@ func (d *RoundRobin) Select(cands []program.Candidate) []program.Move {
 		}
 	}
 	d.next = int(best.Node) + 1
-	return []program.Move{{Node: best.Node, Action: best.Actions[0]}}
+	d.buf = append(d.buf[:0], program.Move{Node: best.Node, Action: best.Actions[0]})
+	return d.buf
 }
 
 // rrKey orders node ids cyclically starting at from.
@@ -151,7 +162,9 @@ func rrKey(node, from int) int {
 // as the paper's Figure 3.1.1. It is unfair in general; use it only
 // for protocols whose enabled set is a singleton in legitimate
 // configurations (token circulation) or for bounded traces.
-type Deterministic struct{}
+type Deterministic struct {
+	buf []program.Move
+}
 
 // NewDeterministic returns a Deterministic daemon.
 func NewDeterministic() *Deterministic { return &Deterministic{} }
@@ -173,7 +186,8 @@ func (d *Deterministic) Select(cands []program.Candidate) []program.Move {
 			a = x
 		}
 	}
-	return []program.Move{{Node: best.Node, Action: a}}
+	d.buf = append(d.buf[:0], program.Move{Node: best.Node, Action: a})
+	return d.buf
 }
 
 // Adversarial delegates selection to a caller-supplied policy,

@@ -10,10 +10,13 @@ type Candidate struct {
 }
 
 // Daemon selects which enabled processors move in each step (§2.1.2).
-// Select receives every enabled processor with its enabled actions and
-// returns a non-empty sequence of moves, at most one per processor; the
-// runner executes them in order with guard re-validation. Select must
-// not retain cands or the Actions slices past the call.
+// Select receives every enabled processor with its enabled actions, in
+// ascending node order, and returns a non-empty sequence of moves, at
+// most one per processor; the runner executes them in order with guard
+// re-validation. Select must not retain cands or the Actions slices
+// past the call (the incremental runner reuses their backing storage),
+// and symmetrically the runner consumes the returned slice within the
+// step, so a daemon may reuse its selection buffer across calls.
 type Daemon interface {
 	Name() string
 	Select(cands []Candidate) []Move

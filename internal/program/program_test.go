@@ -230,6 +230,115 @@ func TestMoveHook(t *testing.T) {
 	}
 }
 
+// wideProto enables more actions per node than the scheduler's arena
+// stride, exercising the private-growth fallback: node v has val[v]+2
+// enabled actions until it executes one, which zeroes it.
+type wideProto struct {
+	g   *graph.Graph
+	val []int
+}
+
+func (p *wideProto) Name() string        { return "wide" }
+func (p *wideProto) Graph() *graph.Graph { return p.g }
+
+func (p *wideProto) Enabled(v graph.NodeID, buf []ActionID) []ActionID {
+	for a := 0; a < p.val[v]+2 && p.val[v] > 0; a++ {
+		buf = append(buf, ActionID(a))
+	}
+	return buf
+}
+
+func (p *wideProto) Execute(v graph.NodeID, a ActionID) bool {
+	if p.val[v] <= 0 || int(a) >= p.val[v]+2 {
+		return false
+	}
+	p.val[v] = 0
+	return true
+}
+
+func TestArenaStrideOverflow(t *testing.T) {
+	// Nodes expose up to 2+2·actionStride enabled actions — far past
+	// the arena stride — and the incremental scheduler must neither
+	// clobber a neighbour's slot nor lose actions.
+	g := graph.Path(4)
+	mk := func() *wideProto {
+		p := &wideProto{g: g, val: make([]int, g.N())}
+		for v := range p.val {
+			p.val[v] = 2 * actionStride
+		}
+		return p
+	}
+	inc := NewSystem(mk(), pickFirst{})
+	full := NewSystemFullScan(mk(), pickFirst{})
+	for i := 0; i < 20; i++ {
+		nInc, errInc := inc.Step()
+		nFull, errFull := full.Step()
+		if errInc != nil || errFull != nil || nInc != nFull {
+			t.Fatalf("step %d: inc=(%d,%v) full=(%d,%v)", i, nInc, errInc, nFull, errFull)
+		}
+		if inc.EnabledCount() != full.EnabledCount() {
+			t.Fatalf("step %d: enabled %d vs %d", i, inc.EnabledCount(), full.EnabledCount())
+		}
+		if nInc == 0 {
+			break
+		}
+	}
+	if !inc.Silent() || !full.Silent() {
+		t.Fatal("wide protocol did not silence")
+	}
+}
+
+func TestInvalidateResyncsAfterExternalMutation(t *testing.T) {
+	g := graph.Path(4)
+	p := newCounterProto(g)
+	for v := range p.val {
+		p.val[v] = 7
+	}
+	sys := NewSystem(p, pickFirst{})
+	if res, err := sys.RunUntilLegitimate(1000); err != nil || !res.Converged {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	if !sys.Silent() {
+		t.Fatal("not silent after convergence")
+	}
+	// Mutate behind the system's back; the cache is stale by contract
+	// until Invalidate.
+	p.val[2] = 99
+	sys.Invalidate()
+	if sys.Silent() {
+		t.Fatal("Invalidate did not pick up the external mutation")
+	}
+	if res, err := sys.RunUntilLegitimate(1000); err != nil || !res.Converged {
+		t.Fatalf("re-convergence: %v %+v", err, res)
+	}
+	if !sys.Silent() {
+		t.Fatal("not silent after re-convergence")
+	}
+}
+
+func TestFullScanCountersMatchIncremental(t *testing.T) {
+	mk := func() *counterProto {
+		p := newCounterProto(graph.Path(6))
+		for v := range p.val {
+			p.val[v] = 31
+		}
+		return p
+	}
+	inc := NewSystem(mk(), pickAll{})
+	full := NewSystemFullScan(mk(), pickAll{})
+	rInc, err := inc.RunUntilLegitimate(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := full.RunUntilLegitimate(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rInc != rFull {
+		t.Fatalf("results diverge: incremental %+v, full scan %+v", rInc, rFull)
+	}
+}
+
 func TestLog2Ceil(t *testing.T) {
 	cases := []struct{ n, want int }{
 		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},

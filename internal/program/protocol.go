@@ -46,6 +46,69 @@ type Protocol interface {
 	Execute(v graph.NodeID, a ActionID) bool
 }
 
+// Influencer is the locality contract of the incremental scheduler.
+// Influence appends to buf every node whose enabled-action set may
+// differ after executing action a at node v, and returns the extended
+// slice. The set must cover v itself (the runner adds v defensively)
+// and must be sound on every reachable configuration: a node omitted
+// from the set keeps its cached guards, so under-reporting silently
+// corrupts executions. Over-reporting only costs time.
+//
+// Protocols that do not implement Influencer get the default locality
+// of the shared-memory model: a move at v can only change guards in
+// v's closed 1-hop neighbourhood, because statements write only v's
+// own variables and guards read only the variables of the evaluating
+// node and its neighbours. Implement Influencer when either half of
+// that argument fails — e.g. a layered protocol whose guards consult a
+// substrate function that itself reads neighbour state (STNO over a
+// DFS tree reads two hops away) — and document the audit next to the
+// implementation. CheckLocality verifies declarations empirically.
+type Influencer interface {
+	Influence(v graph.NodeID, a ActionID, buf []graph.NodeID) []graph.NodeID
+}
+
+// InfluenceClosedNeighborhood appends the default influence set — v
+// plus its neighbours in port order — to buf. Protocols that implement
+// Influencer for documentation purposes but have standard locality can
+// delegate to it.
+func InfluenceClosedNeighborhood(g *graph.Graph, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+	buf = append(buf, v)
+	return append(buf, g.Neighbors(v)...)
+}
+
+// InfluenceBall appends the closed ball of the given radius around v
+// (in BFS order) to buf. Radius 1 equals the closed neighbourhood.
+func InfluenceBall(g *graph.Graph, v graph.NodeID, radius int, buf []graph.NodeID) []graph.NodeID {
+	if radius <= 1 {
+		return InfluenceClosedNeighborhood(g, v, buf)
+	}
+	start := len(buf)
+	buf = append(buf, v)
+	frontier := buf[start:]
+	for hop := 0; hop < radius; hop++ {
+		next := len(buf)
+		for _, u := range frontier {
+			for _, q := range g.Neighbors(u) {
+				seen := false
+				for _, w := range buf[start:] {
+					if w == q {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					buf = append(buf, q)
+				}
+			}
+		}
+		frontier = buf[next:]
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return buf
+}
+
 // Legitimacy is implemented by protocols that can decide their
 // legitimacy predicate L_P on the current configuration.
 type Legitimacy interface {

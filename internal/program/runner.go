@@ -10,32 +10,99 @@ import (
 // ErrNoDaemon is returned by System methods when no daemon was set.
 var ErrNoDaemon = errors.New("program: system has no daemon")
 
+// actionStride is the per-node slot width of the enabled-action arena.
+// Every protocol in this library exposes at most six simultaneously
+// enabled actions per node; a node that exceeds the stride transparently
+// falls back to a privately grown buffer (the three-index slice below
+// caps capacity, so append reallocates instead of clobbering the next
+// node's slot).
+const actionStride = 8
+
 // System drives one protocol under one daemon and accounts for moves
 // and rounds. It is not safe for concurrent use.
+//
+// # Scheduling
+//
+// By default the System runs an event-driven incremental scheduler: it
+// caches every node's enabled-action list and, after a move at v,
+// re-evaluates guards only for the nodes the move can influence — v's
+// closed 1-hop neighbourhood unless the protocol declares a wider set
+// via the Influencer contract. A stabilization run therefore costs
+// O(moves·Δ) guard evaluations instead of the O(moves·n) of the naive
+// full-scan loop, which NewSystemFullScan still provides as a
+// differential-testing oracle. Both schedulers produce bit-identical
+// executions: the candidate list handed to the daemon is maintained in
+// ascending node order, exactly as a full scan enumerates it, so a
+// deterministic (or seeded) daemon makes the same selections either way.
+//
+// The dirty-set invariant the incremental scheduler maintains: after
+// every Step, the cached action list of every node equals what
+// Protocol.Enabled would report on the current configuration. The
+// invariant holds because guards read only locally-shared variables:
+// any guard change is attributable to a fired move whose Influence set
+// covers the changed node. Mutating the protocol's configuration
+// behind the System's back (Restore, Randomize, CorruptNode) breaks
+// the invariant; call Invalidate afterwards — or create a fresh System,
+// or call ResetCounters, both of which invalidate implicitly.
 type System struct {
 	proto  Protocol
+	inf    Influencer // cached type assertion; nil ⇒ default 1-hop locality
+	g      *graph.Graph
 	daemon Daemon
 
 	moves  int64
 	steps  int64
 	rounds int64
 
-	// Round bookkeeping: pending holds the processors that were
-	// enabled when the current round began and have neither moved nor
-	// been seen disabled since.
-	pending map[graph.NodeID]bool
+	fullScan bool
+
+	// Incremental scheduler state (valid iff inited).
+	inited  bool
+	arena   []ActionID     // backing storage for acts, one stride per node
+	acts    [][]ActionID   // per-node cached enabled-action lists
+	enabled []bool         // enabled[v] ⇔ len(acts[v]) > 0
+	cands   []Candidate    // enabled nodes ascending; Actions view acts
+	spare   []Candidate    // double buffer for the merge pass
+	dirty   []graph.NodeID // nodes to re-evaluate this step
+	mark    []int64        // epoch stamps deduplicating dirty
+	epoch   int64
+	adds    []graph.NodeID // nodes that turned enabled this step
+	infBuf  []graph.NodeID
+
+	// Round bookkeeping, incremental flavour: pending[v] holds the
+	// processors that were enabled when the current round began and
+	// have neither moved nor been seen disabled since.
+	pending      []bool
+	pendingCount int
+	roundOpen    bool
+
+	// Round bookkeeping, full-scan flavour (legacy map form, kept
+	// untouched so the oracle stays byte-for-byte the seed algorithm).
+	pendingMap map[graph.NodeID]bool
 
 	// Reusable buffers.
-	cands  []Candidate
-	selBuf []ActionID
+	fullCands []Candidate
+	selBuf    []ActionID
 
 	// MoveHook, when non-nil, observes every executed move.
 	MoveHook func(Move)
 }
 
-// NewSystem returns a System for proto under d.
+// NewSystem returns a System for proto under d, using the incremental
+// enabled-set scheduler.
 func NewSystem(proto Protocol, d Daemon) *System {
-	return &System{proto: proto, daemon: d}
+	inf, _ := proto.(Influencer)
+	return &System{proto: proto, daemon: d, g: proto.Graph(), inf: inf}
+}
+
+// NewSystemFullScan returns a System that re-evaluates every node's
+// guards on every step — the seed algorithm. It is asymptotically
+// slower than NewSystem and exists as the reference oracle for
+// differential tests and benchmarks.
+func NewSystemFullScan(proto Protocol, d Daemon) *System {
+	s := NewSystem(proto, d)
+	s.fullScan = true
+	return s
 }
 
 // Protocol returns the protocol under execution.
@@ -56,39 +123,222 @@ func (s *System) Rounds() int64 { return s.rounds }
 // ResetCounters zeroes the move/step/round counters and restarts round
 // tracking from the current configuration. Use it to measure the cost
 // of a phase that starts "now" (e.g. orientation after the substrate
-// has stabilized, as in §3.2.3).
+// has stabilized, as in §3.2.3). It also invalidates the cached
+// enabled sets, so it is safe to call after mutating the protocol's
+// configuration directly.
 func (s *System) ResetCounters() {
 	s.moves, s.steps, s.rounds = 0, 0, 0
-	s.pending = nil
+	s.Invalidate()
 }
 
-// enabledCandidates gathers the enabled processors into s.cands.
-func (s *System) enabledCandidates() []Candidate {
-	g := s.proto.Graph()
+// Invalidate discards the cached enabled sets and round-pending state
+// (round tracking restarts from the current configuration at the next
+// Step, in both scheduler modes). Call it after changing the
+// protocol's configuration through any channel other than Step —
+// Snapshotter.Restore, Randomizer.Randomize, NodeCorruptor.CorruptNode,
+// or direct variable manipulation. The next Step (or
+// Silent/EnabledCount) re-evaluates every guard once and resumes
+// incremental maintenance from there.
+func (s *System) Invalidate() {
+	s.inited = false
+	s.roundOpen = false
+	s.pendingMap = nil
+	if s.pendingCount > 0 {
+		for v := range s.pending {
+			s.pending[v] = false
+		}
+		s.pendingCount = 0
+	}
+}
+
+// ensureInit performs the one full guard scan the incremental scheduler
+// needs to bootstrap its cache.
+func (s *System) ensureInit() {
+	if s.inited {
+		return
+	}
+	n := s.g.N()
+	if s.acts == nil {
+		s.arena = make([]ActionID, n*actionStride)
+		s.acts = make([][]ActionID, n)
+		for v := 0; v < n; v++ {
+			s.acts[v] = s.arena[v*actionStride : v*actionStride : (v+1)*actionStride]
+		}
+		s.enabled = make([]bool, n)
+		s.mark = make([]int64, n)
+		s.pending = make([]bool, n)
+	}
 	s.cands = s.cands[:0]
-	for v := 0; v < g.N(); v++ {
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		s.acts[v] = s.proto.Enabled(id, s.acts[v][:0])
+		on := len(s.acts[v]) > 0
+		s.enabled[v] = on
+		if on {
+			s.cands = append(s.cands, Candidate{Node: id, Actions: s.acts[v]})
+		}
+	}
+	s.inited = true
+}
+
+// markDirty queues u for guard re-evaluation at the end of the step.
+func (s *System) markDirty(u graph.NodeID) {
+	if s.mark[u] != s.epoch {
+		s.mark[u] = s.epoch
+		s.dirty = append(s.dirty, u)
+	}
+}
+
+// markInfluence queues every node whose guard the fired move (v, a)
+// may have changed: the protocol's declared Influence set, or the
+// closed 1-hop neighbourhood by default. v itself is always queued.
+func (s *System) markInfluence(v graph.NodeID, a ActionID) {
+	s.markDirty(v)
+	if s.inf != nil {
+		s.infBuf = s.inf.Influence(v, a, s.infBuf[:0])
+		for _, u := range s.infBuf {
+			s.markDirty(u)
+		}
+		return
+	}
+	for _, q := range s.g.Neighbors(v) {
+		s.markDirty(q)
+	}
+}
+
+// beginRoundIncremental records the currently enabled processors as the
+// new round's pending set.
+func (s *System) beginRoundIncremental() {
+	for _, c := range s.cands {
+		s.pending[c.Node] = true
+	}
+	s.pendingCount = len(s.cands)
+	s.roundOpen = true
+}
+
+// Step performs one daemon step: hand the enabled processors to the
+// daemon, execute its selection in order with guard re-validation, then
+// restore the dirty-set invariant. It returns the number of moves that
+// fired; 0 with a nil error means the configuration is terminal (no
+// enabled actions).
+func (s *System) Step() (int, error) {
+	if s.daemon == nil {
+		return 0, ErrNoDaemon
+	}
+	if s.fullScan {
+		return s.stepFullScan()
+	}
+	s.ensureInit()
+	if !s.roundOpen {
+		s.beginRoundIncremental()
+	}
+	if len(s.cands) == 0 {
+		return 0, nil
+	}
+	selected := s.daemon.Select(s.cands)
+	if len(selected) == 0 {
+		return 0, fmt.Errorf("program: daemon %q selected no move from %d candidates", s.daemon.Name(), len(s.cands))
+	}
+	s.epoch++
+	s.dirty = s.dirty[:0]
+	fired := 0
+	for _, mv := range selected {
+		if s.proto.Execute(mv.Node, mv.Action) {
+			fired++
+			s.moves++
+			if s.pending[mv.Node] {
+				s.pending[mv.Node] = false
+				s.pendingCount--
+			}
+			s.markInfluence(mv.Node, mv.Action)
+			if s.MoveHook != nil {
+				s.MoveHook(mv)
+			}
+		}
+	}
+	s.steps++
+	s.refreshDirty()
+	if s.pendingCount == 0 {
+		s.rounds++
+		s.beginRoundIncremental()
+	}
+	return fired, nil
+}
+
+// refreshDirty re-evaluates the guards of every dirty node, updates the
+// cached action lists, discharges pending processors seen disabled, and
+// rebuilds the sorted candidate list with one merge pass.
+func (s *System) refreshDirty() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	s.adds = s.adds[:0]
+	for _, v := range s.dirty {
+		was := s.enabled[v]
+		s.acts[v] = s.proto.Enabled(v, s.acts[v][:0])
+		now := len(s.acts[v]) > 0
+		s.enabled[v] = now
+		if now && !was {
+			s.adds = append(s.adds, v)
+		}
+		if !now && s.pending[v] {
+			s.pending[v] = false
+			s.pendingCount--
+		}
+	}
+	// Insertion sort: the additions are a handful of nodes (⊆ the
+	// dirty set), and the merge below needs them in ascending order.
+	for i := 1; i < len(s.adds); i++ {
+		for j := i; j > 0 && s.adds[j] < s.adds[j-1]; j-- {
+			s.adds[j], s.adds[j-1] = s.adds[j-1], s.adds[j]
+		}
+	}
+	next := s.spare[:0]
+	ai := 0
+	for _, c := range s.cands {
+		for ai < len(s.adds) && s.adds[ai] < c.Node {
+			u := s.adds[ai]
+			next = append(next, Candidate{Node: u, Actions: s.acts[u]})
+			ai++
+		}
+		if !s.enabled[c.Node] {
+			continue
+		}
+		// Re-take the slice header: the re-evaluation above may have
+		// changed its length or moved its backing array.
+		next = append(next, Candidate{Node: c.Node, Actions: s.acts[c.Node]})
+	}
+	for ; ai < len(s.adds); ai++ {
+		u := s.adds[ai]
+		next = append(next, Candidate{Node: u, Actions: s.acts[u]})
+	}
+	s.spare = s.cands[:0]
+	s.cands = next
+}
+
+// enabledCandidates gathers the enabled processors into s.fullCands by
+// scanning every node — the legacy full-scan path.
+func (s *System) enabledCandidates() []Candidate {
+	s.fullCands = s.fullCands[:0]
+	for v := 0; v < s.g.N(); v++ {
 		s.selBuf = s.proto.Enabled(graph.NodeID(v), s.selBuf[:0])
 		if len(s.selBuf) == 0 {
 			continue
 		}
 		actions := make([]ActionID, len(s.selBuf))
 		copy(actions, s.selBuf)
-		s.cands = append(s.cands, Candidate{Node: graph.NodeID(v), Actions: actions})
+		s.fullCands = append(s.fullCands, Candidate{Node: graph.NodeID(v), Actions: actions})
 	}
-	return s.cands
+	return s.fullCands
 }
 
-// Step performs one daemon step: gather enabled processors, let the
-// daemon select, execute the selection in order with guard
-// re-validation. It returns the number of moves that fired; 0 with a
-// nil error means the configuration is terminal (no enabled actions).
-func (s *System) Step() (int, error) {
-	if s.daemon == nil {
-		return 0, ErrNoDaemon
-	}
+// stepFullScan is the seed algorithm: gather enabled processors by
+// scanning all guards, let the daemon select, execute with guard
+// re-validation, then rescan the pending set.
+func (s *System) stepFullScan() (int, error) {
 	cands := s.enabledCandidates()
-	if s.pending == nil {
-		s.beginRound(cands)
+	if s.pendingMap == nil {
+		s.beginRoundFullScan(cands)
 	}
 	if len(cands) == 0 {
 		return 0, nil
@@ -102,37 +352,37 @@ func (s *System) Step() (int, error) {
 		if s.proto.Execute(mv.Node, mv.Action) {
 			fired++
 			s.moves++
-			delete(s.pending, mv.Node)
+			delete(s.pendingMap, mv.Node)
 			if s.MoveHook != nil {
 				s.MoveHook(mv)
 			}
 		}
 	}
 	s.steps++
-	s.settleRound()
+	s.settleRoundFullScan()
 	return fired, nil
 }
 
-// beginRound records the processors enabled at round start.
-func (s *System) beginRound(cands []Candidate) {
-	s.pending = make(map[graph.NodeID]bool, len(cands))
+// beginRoundFullScan records the processors enabled at round start.
+func (s *System) beginRoundFullScan(cands []Candidate) {
+	s.pendingMap = make(map[graph.NodeID]bool, len(cands))
 	for _, c := range cands {
-		s.pending[c.Node] = true
+		s.pendingMap[c.Node] = true
 	}
 }
 
-// settleRound discharges pending processors that are now disabled and
-// closes the round when none remain.
-func (s *System) settleRound() {
-	for v := range s.pending {
+// settleRoundFullScan discharges pending processors that are now
+// disabled and closes the round when none remain.
+func (s *System) settleRoundFullScan() {
+	for v := range s.pendingMap {
 		s.selBuf = s.proto.Enabled(v, s.selBuf[:0])
 		if len(s.selBuf) == 0 {
-			delete(s.pending, v)
+			delete(s.pendingMap, v)
 		}
 	}
-	if len(s.pending) == 0 {
+	if len(s.pendingMap) == 0 {
 		s.rounds++
-		s.beginRound(s.enabledCandidates())
+		s.beginRoundFullScan(s.enabledCandidates())
 	}
 }
 
@@ -210,10 +460,14 @@ func (s *System) HoldsFor(pred func() bool, steps int64) (bool, error) {
 
 // Silent reports whether no action is enabled anywhere.
 func (s *System) Silent() bool {
-	return len(s.enabledCandidates()) == 0
+	return s.EnabledCount() == 0
 }
 
 // EnabledCount returns the number of currently enabled processors.
 func (s *System) EnabledCount() int {
-	return len(s.enabledCandidates())
+	if s.fullScan {
+		return len(s.enabledCandidates())
+	}
+	s.ensureInit()
+	return len(s.cands)
 }

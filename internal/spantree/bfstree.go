@@ -39,6 +39,7 @@ var (
 	_ program.Randomizer  = (*BFSTree)(nil)
 	_ program.SpaceMeter  = (*BFSTree)(nil)
 	_ program.ActionNamer = (*BFSTree)(nil)
+	_ program.Influencer  = (*BFSTree)(nil)
 	_ Substrate           = (*BFSTree)(nil)
 )
 
@@ -81,6 +82,18 @@ func (t *BFSTree) Parent(v graph.NodeID) graph.NodeID {
 		return graph.None
 	}
 	return t.par[v]
+}
+
+// ParentLocality implements Substrate: par[v] is v's own variable.
+func (t *BFSTree) ParentLocality() int { return 0 }
+
+// Influence implements program.Influencer, documenting the locality
+// audit: ActFix writes only dist[v] and par[v], and the guard at any
+// node reads only its own and its neighbours' distances, so a move at
+// v can change guards in the closed 1-hop neighbourhood only — the
+// scheduler's default, declared here explicitly.
+func (t *BFSTree) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	return program.InfluenceClosedNeighborhood(t.g, v, buf)
 }
 
 // Dist returns v's current distance variable.

@@ -41,6 +41,7 @@ var (
 	_ program.Randomizer  = (*DFSTree)(nil)
 	_ program.SpaceMeter  = (*DFSTree)(nil)
 	_ program.ActionNamer = (*DFSTree)(nil)
+	_ program.Influencer  = (*DFSTree)(nil)
 	_ Substrate           = (*DFSTree)(nil)
 )
 
@@ -193,6 +194,24 @@ func (t *DFSTree) Parent(v graph.NodeID) graph.NodeID {
 		}
 	}
 	return graph.None
+}
+
+// ParentLocality implements Substrate: Parent(v) is derived by
+// matching the path variables of v's neighbours, so it reads one hop
+// around v. Layers whose guards call Parent on their neighbours (STNO)
+// therefore see this substrate's moves two hops away and must widen
+// their influence declaration accordingly.
+func (t *DFSTree) ParentLocality() int { return 1 }
+
+// Influence implements program.Influencer, documenting the locality
+// audit for the protocol run stand-alone: ActFix writes only path[v],
+// and the guard at any node compares its own path against the minimal
+// extension of its neighbours' paths, so a move at v changes guards in
+// the closed 1-hop neighbourhood only. (The non-local part of this
+// substrate is the derived Parent function, covered by ParentLocality,
+// not its own guards.)
+func (t *DFSTree) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	return program.InfluenceClosedNeighborhood(t.g, v, buf)
 }
 
 // Path returns v's current port-path (nil for ⊥). The slice is shared;

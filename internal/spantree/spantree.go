@@ -29,6 +29,16 @@ type Substrate interface {
 	Parent(v graph.NodeID) graph.NodeID
 	// Stable reports the substrate's legitimacy predicate L_ST.
 	Stable() bool
+	// ParentLocality returns the radius of the ball around v that
+	// Parent(v) reads: 0 when Parent(v) is a function of v's own
+	// variables only (BFSTree's explicit pointer, Oracle's fixed
+	// tree), 1 when it also consults v's neighbours (DFSTree derives
+	// the parent by matching the neighbours' path variables). The
+	// orientation layer widens its program.Influencer declaration by
+	// this amount: a substrate move at v can change Parent(q) for
+	// q within ParentLocality hops of v, and hence guards one hop
+	// further out.
+	ParentLocality() int
 }
 
 // Children collects, in the parent's port order, the current children

@@ -52,6 +52,13 @@ type Circulator struct {
 	par  []graph.NodeID
 	lev  []int
 	done []bool
+
+	// chainStamp/chainEpoch implement the on-chain set of Legitimate
+	// without per-call allocation: v is on the chain iff
+	// chainStamp[v] == chainEpoch. Legitimate runs once per step in
+	// RunUntilLegitimate loops, so this is hot.
+	chainStamp []uint64
+	chainEpoch uint64
 }
 
 // Action identifiers of Circulator.
@@ -86,6 +93,7 @@ var (
 	_ program.Randomizer  = (*Circulator)(nil)
 	_ program.SpaceMeter  = (*Circulator)(nil)
 	_ program.ActionNamer = (*Circulator)(nil)
+	_ program.Influencer  = (*Circulator)(nil)
 	_ Substrate           = (*Circulator)(nil)
 )
 
@@ -343,6 +351,19 @@ func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 	return false
 }
 
+// Influence implements program.Influencer, documenting the locality
+// audit: every statement (Start, Forward, Advance, CatchUp, Break)
+// writes only v's own variables (seq, ptr, par, lev, done), and every
+// guard reads only the evaluating node's variables and its
+// neighbours' (arrowSource, maxNbrSeq, finishedChild and the level
+// equation all iterate Neighbors once) — so a move at v can change
+// guards in v's closed 1-hop neighbourhood only, the scheduler's
+// default, declared here explicitly. HasToken, which the DFTNO layer
+// folds into its guards, reads the same 1-hop ball.
+func (c *Circulator) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	return program.InfluenceClosedNeighborhood(c.g, v, buf)
+}
+
 // HasToken implements Substrate: v holds the token iff a token-moving
 // action (Start, Forward or Advance) is enabled at v.
 func (c *Circulator) HasToken(v graph.NodeID) bool {
@@ -392,16 +413,20 @@ func (c *Circulator) Legitimate() bool {
 		return true
 	}
 	// Mid-round: walk the pointer chain from the root.
-	onChain := make([]bool, c.g.N())
+	if c.chainStamp == nil {
+		c.chainStamp = make([]uint64, c.g.N())
+	}
+	c.chainEpoch++
+	onChain := c.chainStamp
 	v := r
 	if c.lev[r] != 0 {
 		return false
 	}
 	for {
-		if c.done[v] || c.seq[v] != rnd || onChain[v] {
+		if c.done[v] || c.seq[v] != rnd || onChain[v] == c.chainEpoch {
 			return false
 		}
-		onChain[v] = true
+		onChain[v] = c.chainEpoch
 		q := c.ptrTarget(v)
 		if q == graph.None {
 			break // head, freshly visited
@@ -429,9 +454,9 @@ func (c *Circulator) Legitimate() bool {
 // checkOffChain verifies every node not on the pointer chain: visited
 // nodes are finished with retracted pointers and valid parents;
 // unvisited nodes are exactly one round behind and finished.
-func (c *Circulator) checkOffChain(onChain []bool, rnd uint64) bool {
+func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64) bool {
 	for v := 0; v < c.g.N(); v++ {
-		if onChain[v] {
+		if onChain[v] == c.chainEpoch {
 			continue
 		}
 		id := graph.NodeID(v)

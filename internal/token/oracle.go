@@ -48,6 +48,7 @@ var (
 	_ program.Snapshotter = (*Oracle)(nil)
 	_ program.Randomizer  = (*Oracle)(nil)
 	_ program.SpaceMeter  = (*Oracle)(nil)
+	_ program.Influencer  = (*Oracle)(nil)
 	_ Substrate           = (*Oracle)(nil)
 )
 
@@ -141,6 +142,18 @@ func (o *Oracle) Execute(v graph.NodeID, a program.ActionID) bool {
 		}
 	}
 	return true
+}
+
+// Influence implements program.Influencer. The Oracle's single
+// position variable is global, so locality needs an argument: a move
+// at v advances pos by one, disabling v and enabling the next event's
+// actor. Consecutive events of a DFS traversal are always executed by
+// adjacent (or identical) processors — a Forward hands the token to a
+// neighbour, a Backtrack returns it from one, and the wrap-around
+// RootStart follows the final Backtrack at the root itself — so the
+// move's influence is exactly v's closed 1-hop neighbourhood.
+func (o *Oracle) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	return program.InfluenceClosedNeighborhood(o.g, v, buf)
 }
 
 // Legitimate implements program.Legitimacy; the Oracle is legitimate

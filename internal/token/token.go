@@ -53,6 +53,15 @@ func (NopEvents) OnBacktrack(graph.NodeID, graph.NodeID) {}
 // the ancestor pointer A_p maintained by the underlying protocol
 // (§2.1.1) and a token-presence test used to gate the edge-labeling
 // action (¬Forward(p) ∧ ¬Backtrack(p) in Algorithm 3.1.1).
+//
+// Locality contract: the orientation layer folds HasToken(v) into its
+// own guards and declares 1-hop influence for the composition, so
+// HasToken(v) must be decidable from the state of v's closed 1-hop
+// neighbourhood — equivalently, a substrate move may change HasToken
+// only for the mover and its neighbours. Both realisations here
+// satisfy this (Circulator by construction, Oracle because
+// consecutive DFS events have adjacent actors); a substrate that does
+// not must make the composed protocol widen program.Influencer.
 type Substrate interface {
 	// Root returns the distinguished root processor r.
 	Root() graph.NodeID

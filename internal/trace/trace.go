@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -176,4 +177,22 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RenderJSON writes the table as a JSON object with title, headers and
+// rows (all cells as strings, exactly as rendered). cmd/benchtab uses
+// it to commit machine-readable baselines (BENCH_*.json) that future
+// performance PRs can diff against.
+func (t *Table) RenderJSON(w io.Writer) error {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, rows})
 }
