@@ -85,6 +85,10 @@ func BenchmarkT10Routing(b *testing.B) { runExperiment(b, "T10") }
 // baseline from a full benchtab run).
 func BenchmarkT11Scheduler(b *testing.B) { runExperiment(b, "T11") }
 
+// BenchmarkT12Witness regenerates the witness-vs-scan legitimacy
+// comparison (also committed in BENCH_scheduler.json).
+func BenchmarkT12Witness(b *testing.B) { runExperiment(b, "T12") }
+
 // Micro-benchmarks of the moving parts, with shape metrics reported
 // per operation.
 
@@ -203,9 +207,10 @@ func benchSteps(b *testing.B, sys *program.System, d *core.DFTNO, rng *rand.Rand
 
 // BenchmarkStepIncremental measures one daemon step of the default
 // event-driven scheduler on a 64×64 grid (n=4096) mid-stabilization:
-// guard work is confined to the dirty set of the last move, so the
-// per-step cost is O(Δ) guard evaluations plus candidate maintenance,
-// and steady-state stepping allocates nothing.
+// guard work is confined to the dirty set of the last move and the
+// enabled set is maintained as a Fenwick index (O(log n) per
+// enabledness flip, no candidate-slice rebuild), so the per-step cost
+// is O(Δ·log n) and steady-state stepping allocates nothing.
 func BenchmarkStepIncremental(b *testing.B) {
 	d := newGridDFTNO(b, 64, 64)
 	rng := rand.New(rand.NewSource(3))

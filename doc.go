@@ -19,17 +19,50 @@
 // for v's closed neighbourhood — or the wider set a protocol declares
 // through the program.Influencer locality contract (STNO over a DFS
 // tree reads two hops). The dirty-set invariant — cached guards always
-// equal a fresh evaluation — makes a daemon step cost O(Δ) guard
-// evaluations instead of Θ(n), allocates nothing in steady state, and
-// produces bit-identical executions (moves, steps, rounds, final
-// configuration) to the full-scan reference runner, which
-// program.NewSystemFullScan keeps available as a differential-testing
-// oracle. Every protocol package declares and documents its influence
-// audit; program.CheckLocality verifies the declarations empirically,
-// and the differential suite in internal/program locksteps both
-// schedulers across every protocol × daemon combination. Experiment
-// T11 (BENCH_scheduler.json) records the resulting speedup on graphs
-// up to 16k nodes.
+// equal a fresh evaluation — makes the guard work of a daemon step
+// O(Δ) instead of Θ(n).
+//
+// The runner's two hot-path contracts are sublinear as well:
+//
+//   - Daemons receive a program.EnabledSet — an indexable, ascending
+//     view of the enabled processors (Len, At(i), Actions(i, buf),
+//     O(1) Contains) backed by a Fenwick index over the cached enabled
+//     bits — instead of a materialised candidate slice. A sampling
+//     daemon (central, round-robin, deterministic) selects in O(log n)
+//     queries, so a step costs O(Δ·log n) end to end; enumerate-all
+//     daemons (synchronous, distributed) pay O(#enabled·log n), which
+//     is inherent to their scheduling model. Pre-EnabledSet daemons
+//     migrate mechanically: keep the old Select([]Candidate) body,
+//     satisfy program.LegacyDaemon, and wrap it with
+//     program.AdaptLegacy — executions stay bit-identical, only the
+//     Ω(#enabled) materialisation cost returns.
+//
+//   - RunUntilLegitimate consults a program.Witness when the protocol
+//     provides one: an incrementally-maintained legitimacy witness
+//     (per-node violation counters refreshed from the same dirty sets
+//     the guard cache uses) that decides L_P in O(1) instead of an
+//     O(n) Legitimate() scan per step. All five protocol stacks — the
+//     token circulator, both spanning trees, DFTNO and STNO — ship
+//     witnesses; layers conjoin their own counters with their
+//     substrate's verdict. program.CheckWitness audits every witness
+//     against its O(n) predicate on random executions. DFTNO's
+//     legitimacy itself is a recomputable cycle invariant (Max values
+//     determined by the traversal position exposed through the token
+//     Substrate's introspection queries), replacing the recorded
+//     per-cycle snapshot map that cost O(n²) bytes and made 64k-node
+//     stacks unconstructible.
+//
+// Steps allocate nothing in steady state, and both contracts produce
+// bit-identical executions (moves, steps, rounds, final configuration)
+// to the full-scan reference runner, which program.NewSystemFullScan
+// keeps available as a differential-testing oracle. Every protocol
+// package declares and documents its influence audit;
+// program.CheckLocality verifies the declarations empirically, and the
+// differential suite in internal/program locksteps both schedulers and
+// both daemon APIs across every protocol × daemon combination.
+// Experiments T11 and T12 (BENCH_scheduler.json) record the resulting
+// speedups on graphs up to 65 536 nodes; CI fails on >2× step-latency
+// regressions against that committed baseline.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;

@@ -16,6 +16,12 @@
 // corrupted configurations, this machine-checks self-stabilization on
 // small networks where pencil-and-paper proofs are easiest to get
 // wrong.
+//
+// The checker deliberately evaluates Legitimacy.Legitimate, not the
+// protocol's incremental program.Witness: it teleports between
+// configurations via Restore, so a witness would need an O(n) reset
+// per state anyway — and checking the slow predicate is the point, as
+// the witness's own audit (program.CheckWitness) compares against it.
 package check
 
 import (

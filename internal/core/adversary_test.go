@@ -22,31 +22,26 @@ func TestSTNOConvergesUnderAdversarialDaemons(t *testing.T) {
 		// ids as long as legally possible), executing its first
 		// enabled action — substrate before orientation, respecting
 		// the fair composition of the layers.
-		"highest-id": daemon.NewAdversarial("highest-id", func(cands []program.Candidate) []program.Move {
-			best := cands[0]
-			for _, c := range cands[1:] {
-				if c.Node > best.Node {
-					best = c
-				}
-			}
-			return []program.Move{{Node: best.Node, Action: best.Actions[0]}}
+		"highest-id": daemon.NewAdversarial("highest-id", func(set program.EnabledSet) []program.Move {
+			i := set.Len() - 1 // ascending order: the last index is the highest id
+			return []program.Move{{Node: set.At(i), Action: set.Actions(i, nil)[0]}}
 		}),
 		// Always pick the processor farthest from the root.
-		"farthest": daemon.NewAdversarial("farthest", func(cands []program.Candidate) []program.Move {
+		"farthest": daemon.NewAdversarial("farthest", func(set program.EnabledSet) []program.Move {
 			dist, _ := graph.BFSFrom(g, 0)
-			best := cands[0]
-			for _, c := range cands[1:] {
-				if dist[c.Node] > dist[best.Node] {
-					best = c
+			best := 0
+			for i := 1; i < set.Len(); i++ {
+				if dist[set.At(i)] > dist[set.At(best)] {
+					best = i
 				}
 			}
-			return []program.Move{{Node: best.Node, Action: best.Actions[0]}}
+			return []program.Move{{Node: set.At(best), Action: set.Actions(best, nil)[0]}}
 		}),
 		// Activate everyone but execute in reverse id order.
-		"reverse-sync": daemon.NewAdversarial("reverse-sync", func(cands []program.Candidate) []program.Move {
-			moves := make([]program.Move, 0, len(cands))
-			for i := len(cands) - 1; i >= 0; i-- {
-				moves = append(moves, program.Move{Node: cands[i].Node, Action: cands[i].Actions[0]})
+		"reverse-sync": daemon.NewAdversarial("reverse-sync", func(set program.EnabledSet) []program.Move {
+			moves := make([]program.Move, 0, set.Len())
+			for i := set.Len() - 1; i >= 0; i-- {
+				moves = append(moves, program.Move{Node: set.At(i), Action: set.Actions(i, nil)[0]})
 			}
 			return moves
 		}),
@@ -87,14 +82,10 @@ func TestSTNOConvergesUnderAdversarialDaemons(t *testing.T) {
 func TestSTNOComposedNeedsFairComposition(t *testing.T) {
 	t.Parallel()
 	g := graph.Grid(3, 3)
-	starveSubstrate := daemon.NewAdversarial("orientation-first", func(cands []program.Candidate) []program.Move {
-		best := cands[0]
-		for _, c := range cands[1:] {
-			if c.Node > best.Node {
-				best = c
-			}
-		}
-		return []program.Move{{Node: best.Node, Action: best.Actions[len(best.Actions)-1]}}
+	starveSubstrate := daemon.NewAdversarial("orientation-first", func(set program.EnabledSet) []program.Move {
+		i := set.Len() - 1 // highest enabled id
+		acts := set.Actions(i, nil)
+		return []program.Move{{Node: set.At(i), Action: acts[len(acts)-1]}}
 	})
 	rng := rand.New(rand.NewSource(6))
 	sub, err := spantree.NewBFSTree(g, 0)

@@ -57,12 +57,17 @@ type STNO struct {
 	pi     [][]int
 
 	childBuf []graph.NodeID
+	wantBuf  []int // scratch for nameInvalid's Distribute comparison
 
 	// subBall lazily caches, per node, the influence ball substrate
 	// moves need (radius 1 + Substrate.ParentLocality); nil entries are
 	// unbuilt. Unused (and unallocated) when the radius is 1.
 	subBall    [][]graph.NodeID
 	subBallRad int
+
+	// wit is the incremental legitimacy witness (see witness.go).
+	wit    program.ViolationCounter
+	subWit program.Witness // type-asserted from sub; nil ⇒ fall back to sub.Stable
 }
 
 // Compile-time interface compliance.
@@ -105,6 +110,7 @@ func NewSTNO(g *graph.Graph, sub TreeSubstrate, modulus int) (*STNO, error) {
 	if s.subBallRad > 1 {
 		s.subBall = make([][]graph.NodeID, g.N())
 	}
+	s.subWit, _ = sub.(program.Witness)
 	return s, nil
 }
 
@@ -194,13 +200,16 @@ func (s *STNO) wantStart(v graph.NodeID, out []int) []int {
 	return out
 }
 
-// nameInvalid is InvalidNodelabel ∨ a stale Start array.
+// nameInvalid is InvalidNodelabel ∨ a stale Start array. It reuses a
+// scratch buffer for the Distribute comparison: the guard runs on
+// every evaluation of every node, and an allocation here was the last
+// per-step allocation on STNO's hot path.
 func (s *STNO) nameInvalid(v graph.NodeID) bool {
 	if want, ok := s.expectedEta(v); ok && s.eta[v] != want {
 		return true
 	}
-	want := s.wantStart(v, make([]int, 0, s.g.Degree(v)))
-	for port, w := range want {
+	s.wantBuf = s.wantStart(v, s.wantBuf[:0])
+	for port, w := range s.wantBuf {
 		if s.start[v][port] != w {
 			return true
 		}

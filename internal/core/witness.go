@@ -1,0 +1,99 @@
+package core
+
+import (
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// This file implements program.Witness for both orientation layers.
+// Each layer's legitimacy predicate is "substrate legitimate ∧ a
+// per-node conjunction", so the witness is one
+// program.ViolationCounter over the layer's own clauses, conjoined
+// with the substrate's witness verdict (or its Legitimate()/Stable()
+// when the substrate has no witness — the token Oracle's and tree
+// Oracle's are O(1) anyway). Every clause reads at most as far as the
+// layer's declared Influence sets, so the runner's dirty-set refreshes
+// keep the counter exact; WitnessRefresh forwards each refresh to the
+// substrate witness, which keeps the composed verdict exact too.
+
+// Compile-time interface compliance.
+var (
+	_ program.Witness = (*DFTNO)(nil)
+	_ program.Witness = (*STNO)(nil)
+)
+
+// dftnoViolates is DFTNO's per-node clause of Legitimate().
+func (d *DFTNO) dftnoViolates(v graph.NodeID) bool {
+	return d.eta[v] != d.refNames[v] || !d.positionOK(v) || d.invalidEdgeLabel(v)
+}
+
+// WitnessReset implements program.Witness.
+func (d *DFTNO) WitnessReset() {
+	if d.subWit != nil {
+		d.subWit.WitnessReset()
+	}
+	d.wit.Reset(d.g.N(), d.dftnoViolates)
+}
+
+// WitnessRefresh implements program.Witness.
+func (d *DFTNO) WitnessRefresh(v graph.NodeID) {
+	if !d.wit.Valid() {
+		return
+	}
+	if d.subWit != nil {
+		d.subWit.WitnessRefresh(v)
+	}
+	d.wit.Refresh(v, d.dftnoViolates(v))
+}
+
+// WitnessLegitimate implements program.Witness.
+func (d *DFTNO) WitnessLegitimate() bool {
+	if !d.wit.Valid() {
+		d.WitnessReset()
+	}
+	if !d.wit.Zero() {
+		return false
+	}
+	if d.subWit != nil {
+		return d.subWit.WitnessLegitimate()
+	}
+	return d.sub.Legitimate()
+}
+
+// stnoViolates is STNO's per-node clause of Legitimate().
+func (s *STNO) stnoViolates(v graph.NodeID) bool {
+	return s.weight[v] != s.expectedWeight(v) || s.nameInvalid(v) || s.invalidEdgeLabel(v)
+}
+
+// WitnessReset implements program.Witness.
+func (s *STNO) WitnessReset() {
+	if s.subWit != nil {
+		s.subWit.WitnessReset()
+	}
+	s.wit.Reset(s.g.N(), s.stnoViolates)
+}
+
+// WitnessRefresh implements program.Witness.
+func (s *STNO) WitnessRefresh(v graph.NodeID) {
+	if !s.wit.Valid() {
+		return
+	}
+	if s.subWit != nil {
+		s.subWit.WitnessRefresh(v)
+	}
+	s.wit.Refresh(v, s.stnoViolates(v))
+}
+
+// WitnessLegitimate implements program.Witness.
+func (s *STNO) WitnessLegitimate() bool {
+	if !s.wit.Valid() {
+		s.WitnessReset()
+	}
+	if !s.wit.Zero() {
+		return false
+	}
+	if s.subWit != nil {
+		return s.subWit.WitnessLegitimate()
+	}
+	return s.sub.Stable()
+}

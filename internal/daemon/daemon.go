@@ -4,15 +4,28 @@
 // daemon (every enabled processor per step), a round-robin weakly-fair
 // daemon, and an adversarial daemon driven by a caller-supplied policy.
 //
+// All daemons work against program.EnabledSet, the indexable view of
+// the enabled processors: a daemon that activates one processor
+// samples it by rank (O(log n) under the incremental runner) instead
+// of receiving — and paying for — the whole candidate list. Daemons
+// that activate subsets (synchronous, distributed) enumerate the set
+// in ascending rank order, which the runner serves through its
+// sequential successor fast path at O(n + #enabled) per step — the
+// cost of the materialised slice the legacy contract handed over.
+//
 // All randomized daemons draw exclusively from an injected seed, so
-// every experiment is reproducible. Daemons reuse their selection
-// buffer across Select calls (the runner consumes the returned moves
-// within the step, per the program.Daemon contract), so steady-state
-// scheduling allocates nothing.
+// every experiment is reproducible, and they consume randomness in
+// exactly the order the pre-EnabledSet implementations did, so seeded
+// executions are bit-identical across the API migration (the
+// differential suite in internal/program locksteps both). Daemons
+// reuse their selection buffers across Select calls (the runner
+// consumes the returned moves within the step, per the program.Daemon
+// contract), so steady-state scheduling allocates nothing.
 package daemon
 
 import (
 	"math/rand"
+	"sort"
 
 	"netorient/internal/program"
 )
@@ -30,10 +43,13 @@ var (
 // Central activates exactly one enabled processor per step, chosen
 // uniformly at random, executing one of its enabled actions uniformly
 // at random. Randomized central scheduling is weakly fair with
-// probability 1.
+// probability 1. This is the canonical sampling daemon: one rank draw,
+// one indexed lookup — O(log n) per step regardless of how many
+// processors are enabled.
 type Central struct {
-	rng *rand.Rand
-	buf []program.Move
+	rng  *rand.Rand
+	buf  []program.Move
+	abuf []program.ActionID
 }
 
 // NewCentral returns a Central daemon seeded with seed.
@@ -45,9 +61,10 @@ func NewCentral(seed int64) *Central {
 func (d *Central) Name() string { return "central" }
 
 // Select implements program.Daemon.
-func (d *Central) Select(cands []program.Candidate) []program.Move {
-	c := cands[d.rng.Intn(len(cands))]
-	d.buf = append(d.buf[:0], program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+func (d *Central) Select(set program.EnabledSet) []program.Move {
+	i := d.rng.Intn(set.Len())
+	d.abuf = set.Actions(i, d.abuf[:0])
+	d.buf = append(d.buf[:0], program.Move{Node: set.At(i), Action: d.abuf[d.rng.Intn(len(d.abuf))]})
 	return d.buf
 }
 
@@ -55,8 +72,9 @@ func (d *Central) Select(cands []program.Candidate) []program.Move {
 // execution order within the step is randomized; actions are chosen
 // uniformly among each processor's enabled actions.
 type Synchronous struct {
-	rng *rand.Rand
-	buf []program.Move
+	rng  *rand.Rand
+	buf  []program.Move
+	abuf []program.ActionID
 }
 
 // NewSynchronous returns a Synchronous daemon seeded with seed.
@@ -68,10 +86,11 @@ func NewSynchronous(seed int64) *Synchronous {
 func (d *Synchronous) Name() string { return "synchronous" }
 
 // Select implements program.Daemon.
-func (d *Synchronous) Select(cands []program.Candidate) []program.Move {
+func (d *Synchronous) Select(set program.EnabledSet) []program.Move {
 	moves := d.buf[:0]
-	for _, c := range cands {
-		moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+	for i, n := 0, set.Len(); i < n; i++ {
+		d.abuf = set.Actions(i, d.abuf[:0])
+		moves = append(moves, program.Move{Node: set.At(i), Action: d.abuf[d.rng.Intn(len(d.abuf))]})
 	}
 	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
 	d.buf = moves
@@ -84,8 +103,9 @@ func (d *Synchronous) Select(cands []program.Candidate) []program.Move {
 // (default 0.5); if the coin flips exclude everyone, one processor is
 // chosen uniformly so the step is productive.
 type Distributed struct {
-	rng *rand.Rand
-	buf []program.Move
+	rng  *rand.Rand
+	buf  []program.Move
+	abuf []program.ActionID
 	// P is the per-processor inclusion probability, (0,1].
 	P float64
 }
@@ -103,16 +123,18 @@ func NewDistributed(seed int64, p float64) *Distributed {
 func (d *Distributed) Name() string { return "distributed" }
 
 // Select implements program.Daemon.
-func (d *Distributed) Select(cands []program.Candidate) []program.Move {
+func (d *Distributed) Select(set program.EnabledSet) []program.Move {
 	moves := d.buf[:0]
-	for _, c := range cands {
+	for i, n := 0, set.Len(); i < n; i++ {
 		if d.rng.Float64() < d.P {
-			moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+			d.abuf = set.Actions(i, d.abuf[:0])
+			moves = append(moves, program.Move{Node: set.At(i), Action: d.abuf[d.rng.Intn(len(d.abuf))]})
 		}
 	}
 	if len(moves) == 0 {
-		c := cands[d.rng.Intn(len(cands))]
-		moves = append(moves, program.Move{Node: c.Node, Action: c.Actions[d.rng.Intn(len(c.Actions))]})
+		i := d.rng.Intn(set.Len())
+		d.abuf = set.Actions(i, d.abuf[:0])
+		moves = append(moves, program.Move{Node: set.At(i), Action: d.abuf[d.rng.Intn(len(d.abuf))]})
 	}
 	d.rng.Shuffle(len(moves), func(i, j int) { moves[i], moves[j] = moves[j], moves[i] })
 	d.buf = moves
@@ -122,10 +144,13 @@ func (d *Distributed) Select(cands []program.Candidate) []program.Move {
 // RoundRobin activates one processor per step, cycling through node
 // ids and picking the next enabled one — a deterministic weakly-fair
 // central daemon: a continuously enabled processor is activated within
-// n steps.
+// n steps. The cyclic successor is found by binary search over the
+// ascending enabled set (O(log² n) under the incremental runner)
+// instead of a scan of every candidate.
 type RoundRobin struct {
 	next int
 	buf  []program.Move
+	abuf []program.ActionID
 }
 
 // NewRoundRobin returns a RoundRobin daemon starting at node 0.
@@ -135,26 +160,18 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (d *RoundRobin) Name() string { return "round-robin" }
 
 // Select implements program.Daemon.
-func (d *RoundRobin) Select(cands []program.Candidate) []program.Move {
-	best := cands[0]
-	bestKey := rrKey(int(best.Node), d.next)
-	for _, c := range cands[1:] {
-		if k := rrKey(int(c.Node), d.next); k < bestKey {
-			best, bestKey = c, k
-		}
+func (d *RoundRobin) Select(set program.EnabledSet) []program.Move {
+	n := set.Len()
+	// First enabled node ≥ next, else wrap to the smallest.
+	i := sort.Search(n, func(i int) bool { return int(set.At(i)) >= d.next })
+	if i == n {
+		i = 0
 	}
-	d.next = int(best.Node) + 1
-	d.buf = append(d.buf[:0], program.Move{Node: best.Node, Action: best.Actions[0]})
+	v := set.At(i)
+	d.abuf = set.Actions(i, d.abuf[:0])
+	d.next = int(v) + 1
+	d.buf = append(d.buf[:0], program.Move{Node: v, Action: d.abuf[0]})
 	return d.buf
-}
-
-// rrKey orders node ids cyclically starting at from.
-func rrKey(node, from int) int {
-	const large = 1 << 30
-	if node >= from {
-		return node - from
-	}
-	return node - from + large
 }
 
 // Deterministic activates the lowest-id enabled processor and its
@@ -163,7 +180,8 @@ func rrKey(node, from int) int {
 // for protocols whose enabled set is a singleton in legitimate
 // configurations (token circulation) or for bounded traces.
 type Deterministic struct {
-	buf []program.Move
+	buf  []program.Move
+	abuf []program.ActionID
 }
 
 // NewDeterministic returns a Deterministic daemon.
@@ -173,33 +191,29 @@ func NewDeterministic() *Deterministic { return &Deterministic{} }
 func (d *Deterministic) Name() string { return "deterministic" }
 
 // Select implements program.Daemon.
-func (d *Deterministic) Select(cands []program.Candidate) []program.Move {
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.Node < best.Node {
-			best = c
-		}
-	}
-	a := best.Actions[0]
-	for _, x := range best.Actions[1:] {
+func (d *Deterministic) Select(set program.EnabledSet) []program.Move {
+	d.abuf = set.Actions(0, d.abuf[:0]) // index 0 is the lowest id: the set is ascending
+	a := d.abuf[0]
+	for _, x := range d.abuf[1:] {
 		if x < a {
 			a = x
 		}
 	}
-	d.buf = append(d.buf[:0], program.Move{Node: best.Node, Action: a})
+	d.buf = append(d.buf[:0], program.Move{Node: set.At(0), Action: a})
 	return d.buf
 }
 
 // Adversarial delegates selection to a caller-supplied policy,
 // enabling worst-case schedules in tests (e.g. starving a region for
-// as long as fairness permits).
+// as long as fairness permits). Policies query the set like any other
+// daemon — including O(1) Contains probes for targeted starvation.
 type Adversarial struct {
-	Policy func(cands []program.Candidate) []program.Move
+	Policy func(set program.EnabledSet) []program.Move
 	name   string
 }
 
 // NewAdversarial wraps policy under the given display name.
-func NewAdversarial(name string, policy func([]program.Candidate) []program.Move) *Adversarial {
+func NewAdversarial(name string, policy func(program.EnabledSet) []program.Move) *Adversarial {
 	return &Adversarial{Policy: policy, name: name}
 }
 
@@ -207,6 +221,6 @@ func NewAdversarial(name string, policy func([]program.Candidate) []program.Move
 func (d *Adversarial) Name() string { return "adversarial:" + d.name }
 
 // Select implements program.Daemon.
-func (d *Adversarial) Select(cands []program.Candidate) []program.Move {
-	return d.Policy(cands)
+func (d *Adversarial) Select(set program.EnabledSet) []program.Move {
+	return d.Policy(set)
 }

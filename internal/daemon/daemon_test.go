@@ -7,8 +7,10 @@ import (
 	"netorient/internal/program"
 )
 
-func candidates(nodes ...graph.NodeID) []program.Candidate {
-	out := make([]program.Candidate, len(nodes))
+// candidates builds a static EnabledSet over the given nodes (which
+// must be ascending, per the EnabledSet contract), two actions each.
+func candidates(nodes ...graph.NodeID) program.CandidateSet {
+	out := make(program.CandidateSet, len(nodes))
 	for i, v := range nodes {
 		out[i] = program.Candidate{Node: v, Actions: []program.ActionID{0, 1}}
 	}
@@ -113,9 +115,9 @@ func TestRoundRobinSkipsDisabled(t *testing.T) {
 
 func TestDeterministicPicksLowest(t *testing.T) {
 	d := NewDeterministic()
-	mv := d.Select([]program.Candidate{
-		{Node: 5, Actions: []program.ActionID{2, 1}},
+	mv := d.Select(program.CandidateSet{
 		{Node: 2, Actions: []program.ActionID{3, 0}},
+		{Node: 5, Actions: []program.ActionID{2, 1}},
 	})[0]
 	if mv.Node != 2 || mv.Action != 0 {
 		t.Fatalf("picked node %d action %d, want node 2 action 0", mv.Node, mv.Action)
@@ -124,15 +126,18 @@ func TestDeterministicPicksLowest(t *testing.T) {
 
 func TestAdversarialDelegates(t *testing.T) {
 	called := false
-	d := NewAdversarial("starve-evens", func(cands []program.Candidate) []program.Move {
+	d := NewAdversarial("starve-evens", func(set program.EnabledSet) []program.Move {
 		called = true
-		// Prefer odd nodes.
-		for _, c := range cands {
-			if c.Node%2 == 1 {
-				return []program.Move{{Node: c.Node, Action: c.Actions[0]}}
+		// Prefer odd nodes; Contains gives O(1) targeted probes.
+		if !set.Contains(1) {
+			t.Error("Contains(1) = false on a set holding node 1")
+		}
+		for i := 0; i < set.Len(); i++ {
+			if v := set.At(i); v%2 == 1 {
+				return []program.Move{{Node: v, Action: set.Actions(i, nil)[0]}}
 			}
 		}
-		return []program.Move{{Node: cands[0].Node, Action: cands[0].Actions[0]}}
+		return []program.Move{{Node: set.At(0), Action: set.Actions(0, nil)[0]}}
 	})
 	mv := d.Select(candidates(0, 1, 2))[0]
 	if !called || mv.Node != 1 {
@@ -141,6 +146,30 @@ func TestAdversarialDelegates(t *testing.T) {
 	if d.Name() != "adversarial:starve-evens" {
 		t.Errorf("name %q", d.Name())
 	}
+}
+
+// TestLegacyAdapterPreservesSelection pins the migration path: an
+// old-contract daemon wrapped with program.AdaptLegacy sees the same
+// candidate list the pre-EnabledSet runner would have handed it.
+func TestLegacyAdapterPreservesSelection(t *testing.T) {
+	legacy := legacyPickSecond{}
+	d := program.AdaptLegacy(legacy)
+	if d.Name() != "pick-second" {
+		t.Errorf("adapter name %q", d.Name())
+	}
+	mv := d.Select(candidates(3, 7, 9))[0]
+	if mv.Node != 7 || mv.Action != 1 {
+		t.Fatalf("adapted daemon picked node %d action %d, want node 7 action 1", mv.Node, mv.Action)
+	}
+}
+
+// legacyPickSecond is an old-contract daemon used to test AdaptLegacy.
+type legacyPickSecond struct{}
+
+func (legacyPickSecond) Name() string { return "pick-second" }
+func (legacyPickSecond) Select(cands []program.Candidate) []program.Move {
+	c := cands[1]
+	return []program.Move{{Node: c.Node, Action: c.Actions[1]}}
 }
 
 func TestDaemonNames(t *testing.T) {

@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"T9", "Ch.5/[25] — the sense of direction makes leader election cheaper", T9Election},
 		{"T10", "§1.3 — greedy routing over the chordal labels: reach and stretch", T10Routing},
 		{"T11", "scheduler — O(Δ) incremental guard re-evaluation vs Θ(n) full scan", T11SchedulerScaling},
+		{"T12", "scheduler — incremental legitimacy witness vs O(n) Legitimate() scan", T12WitnessLegitimacy},
 	}
 }
 

@@ -3,6 +3,12 @@
 // configuration, corrupt the local state of k random processors, then
 // measure the moves and rounds until the system is legitimate again —
 // the operational content of Theorems 3.2.3 and 4.2.3.
+//
+// Campaigns run on the incremental scheduler, so for protocols with a
+// program.Witness the per-step legitimacy decision inside each
+// recovery is O(1) (the witness re-arms from scratch on the fresh
+// System each trial builds after corruption); recovery measurements
+// count moves and rounds, which are scheduler-independent.
 package fault
 
 import (

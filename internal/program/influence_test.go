@@ -1,0 +1,119 @@
+package program
+
+import (
+	"testing"
+
+	"netorient/internal/graph"
+)
+
+// ballReference is the quadratic-membership implementation the scratch
+// rewrite replaced, kept as the behavioural reference: InfluenceBall
+// must return the identical slice (same nodes, same BFS order).
+func ballReference(g *graph.Graph, v graph.NodeID, radius int, buf []graph.NodeID) []graph.NodeID {
+	if radius <= 1 {
+		return InfluenceClosedNeighborhood(g, v, buf)
+	}
+	start := len(buf)
+	buf = append(buf, v)
+	frontier := buf[start:]
+	for hop := 0; hop < radius; hop++ {
+		next := len(buf)
+		for _, u := range frontier {
+			for _, q := range g.Neighbors(u) {
+				seen := false
+				for _, w := range buf[start:] {
+					if w == q {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					buf = append(buf, q)
+				}
+			}
+		}
+		frontier = buf[next:]
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return buf
+}
+
+func TestInfluenceBallMatchesReference(t *testing.T) {
+	t.Parallel()
+	graphs := map[string]*graph.Graph{
+		"grid8x8":  graph.Grid(8, 8),
+		"ring9":    graph.Ring(9),
+		"clique6":  graph.Complete(6),
+		"lollipop": graph.Lollipop(4, 4),
+	}
+	for name, g := range graphs {
+		for radius := 0; radius <= 4; radius++ {
+			for v := 0; v < g.N(); v++ {
+				got := InfluenceBall(g, graph.NodeID(v), radius, nil)
+				want := ballReference(g, graph.NodeID(v), radius, nil)
+				if len(got) != len(want) {
+					t.Fatalf("%s r=%d v=%d: %d nodes, want %d", name, radius, v, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s r=%d v=%d: order diverges at %d: %v vs %v", name, radius, v, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInfluenceBallAppendsAfterPrefix(t *testing.T) {
+	t.Parallel()
+	g := graph.Grid(4, 4)
+	prefix := []graph.NodeID{99, 98}
+	out := InfluenceBall(g, 5, 2, append([]graph.NodeID(nil), prefix...))
+	if out[0] != 99 || out[1] != 98 {
+		t.Fatalf("prefix clobbered: %v", out[:2])
+	}
+	if out[2] != 5 {
+		t.Fatalf("ball must start at the centre, got %v", out[2:])
+	}
+}
+
+// BenchmarkInfluenceBall measures the radius-2 ball on a 64×64 grid —
+// the exact query STNO-over-DFS-tree issues per node. The membership
+// scratch makes it linear in the ball; the replaced implementation
+// re-scanned the output slice per enqueue (quadratic in the ball, and
+// the ball at radius 2 on a grid is 13 nodes, so the constant matters
+// at scale).
+func BenchmarkInfluenceBall(b *testing.B) {
+	g := graph.Grid(64, 64)
+	var buf []graph.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = InfluenceBall(g, graph.NodeID(i%g.N()), 2, buf[:0])
+	}
+}
+
+// BenchmarkInfluenceBallReference is the pre-rewrite comparison point.
+func BenchmarkInfluenceBallReference(b *testing.B) {
+	g := graph.Grid(64, 64)
+	var buf []graph.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ballReference(g, graph.NodeID(i%g.N()), 2, buf[:0])
+	}
+}
+
+// BenchmarkInfluenceBallWide stresses the linearity claim where it
+// actually bites: radius 4 on the grid (41-node balls).
+func BenchmarkInfluenceBallWide(b *testing.B) {
+	g := graph.Grid(64, 64)
+	var buf []graph.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = InfluenceBall(g, graph.NodeID(i%g.N()), 4, buf[:0])
+	}
+}

@@ -64,18 +64,18 @@ func (p *counterProto) Legitimate() bool {
 type pickFirst struct{}
 
 func (pickFirst) Name() string { return "pick-first" }
-func (pickFirst) Select(cands []Candidate) []Move {
-	return []Move{{Node: cands[0].Node, Action: cands[0].Actions[0]}}
+func (pickFirst) Select(set EnabledSet) []Move {
+	return []Move{{Node: set.At(0), Action: set.Actions(0, nil)[0]}}
 }
 
 // pickAll activates everything.
 type pickAll struct{}
 
 func (pickAll) Name() string { return "pick-all" }
-func (pickAll) Select(cands []Candidate) []Move {
-	out := make([]Move, len(cands))
-	for i, c := range cands {
-		out[i] = Move{Node: c.Node, Action: c.Actions[0]}
+func (pickAll) Select(set EnabledSet) []Move {
+	out := make([]Move, set.Len())
+	for i := range out {
+		out[i] = Move{Node: set.At(i), Action: set.Actions(i, nil)[0]}
 	}
 	return out
 }

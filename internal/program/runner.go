@@ -27,13 +27,17 @@ const actionStride = 8
 // caches every node's enabled-action list and, after a move at v,
 // re-evaluates guards only for the nodes the move can influence — v's
 // closed 1-hop neighbourhood unless the protocol declares a wider set
-// via the Influencer contract. A stabilization run therefore costs
-// O(moves·Δ) guard evaluations instead of the O(moves·n) of the naive
-// full-scan loop, which NewSystemFullScan still provides as a
+// via the Influencer contract. The enabled set handed to the daemon is
+// an indexable EnabledSet view over a Fenwick (binary indexed) tree of
+// enabled bits, maintained with O(log n) work per enabledness flip, so
+// a step costs O(Δ·log n) bookkeeping plus the daemon's own queries —
+// there is no per-step candidate-slice rebuild, and a sampling daemon
+// makes steps sublinear in the enabled count outright.
+// NewSystemFullScan still provides the Θ(n)-scan seed runner as a
 // differential-testing oracle. Both schedulers produce bit-identical
-// executions: the candidate list handed to the daemon is maintained in
-// ascending node order, exactly as a full scan enumerates it, so a
-// deterministic (or seeded) daemon makes the same selections either way.
+// executions: EnabledSet enumerates processors in ascending node
+// order, exactly as a full scan does, so a deterministic (or seeded)
+// daemon makes the same selections either way.
 //
 // The dirty-set invariant the incremental scheduler maintains: after
 // every Step, the cached action list of every node equals what
@@ -44,6 +48,15 @@ const actionStride = 8
 // behind the System's back (Restore, Randomize, CorruptNode) breaks
 // the invariant; call Invalidate afterwards — or create a fresh System,
 // or call ResetCounters, both of which invalidate implicitly.
+//
+// # Legitimacy
+//
+// RunUntilLegitimate consults the protocol's incremental legitimacy
+// witness (the Witness contract) when one is available: the witness's
+// violation counters are refreshed from the same dirty sets the guard
+// cache uses, so the per-step legitimacy decision is O(1) instead of
+// the O(n) Legitimate() scan. Witness state obeys the same invariant
+// and the same Invalidate contract as the guard cache.
 type System struct {
 	proto  Protocol
 	inf    Influencer // cached type assertion; nil ⇒ default 1-hop locality
@@ -61,13 +74,18 @@ type System struct {
 	arena   []ActionID     // backing storage for acts, one stride per node
 	acts    [][]ActionID   // per-node cached enabled-action lists
 	enabled []bool         // enabled[v] ⇔ len(acts[v]) > 0
-	cands   []Candidate    // enabled nodes ascending; Actions view acts
-	spare   []Candidate    // double buffer for the merge pass
+	count   int            // number of enabled nodes
+	fen     []int32        // Fenwick tree over enabled bits, 1-indexed
+	fenHigh int            // largest power of two ≤ n, for select queries
 	dirty   []graph.NodeID // nodes to re-evaluate this step
 	mark    []int64        // epoch stamps deduplicating dirty
 	epoch   int64
-	adds    []graph.NodeID // nodes that turned enabled this step
 	infBuf  []graph.NodeID
+
+	// Rank-query memo: the last At(i) answered, so the At/Actions pair
+	// every daemon issues costs one Fenwick select, not two.
+	memoIdx  int
+	memoNode graph.NodeID
 
 	// Round bookkeeping, incremental flavour: pending[v] holds the
 	// processors that were enabled when the current round began and
@@ -79,6 +97,10 @@ type System struct {
 	// Round bookkeeping, full-scan flavour (legacy map form, kept
 	// untouched so the oracle stays byte-for-byte the seed algorithm).
 	pendingMap map[graph.NodeID]bool
+
+	// Armed incremental legitimacy witness (nil when disarmed); the
+	// dirty-set refresh keeps it synchronised with the configuration.
+	witness Witness
 
 	// Reusable buffers.
 	fullCands []Candidate
@@ -131,18 +153,20 @@ func (s *System) ResetCounters() {
 	s.Invalidate()
 }
 
-// Invalidate discards the cached enabled sets and round-pending state
-// (round tracking restarts from the current configuration at the next
-// Step, in both scheduler modes). Call it after changing the
-// protocol's configuration through any channel other than Step —
-// Snapshotter.Restore, Randomizer.Randomize, NodeCorruptor.CorruptNode,
-// or direct variable manipulation. The next Step (or
-// Silent/EnabledCount) re-evaluates every guard once and resumes
-// incremental maintenance from there.
+// Invalidate discards the cached enabled sets, the armed legitimacy
+// witness and the round-pending state (round tracking restarts from
+// the current configuration at the next Step, in both scheduler
+// modes). Call it after changing the protocol's configuration through
+// any channel other than Step — Snapshotter.Restore,
+// Randomizer.Randomize, NodeCorruptor.CorruptNode, or direct variable
+// manipulation. The next Step (or Silent/EnabledCount) re-evaluates
+// every guard once and resumes incremental maintenance from there; the
+// next RunUntilLegitimate re-arms the witness from scratch.
 func (s *System) Invalidate() {
 	s.inited = false
 	s.roundOpen = false
 	s.pendingMap = nil
+	s.witness = nil
 	if s.pendingCount > 0 {
 		for v := range s.pending {
 			s.pending[v] = false
@@ -165,21 +189,104 @@ func (s *System) ensureInit() {
 			s.acts[v] = s.arena[v*actionStride : v*actionStride : (v+1)*actionStride]
 		}
 		s.enabled = make([]bool, n)
+		s.fen = make([]int32, n+1)
 		s.mark = make([]int64, n)
 		s.pending = make([]bool, n)
+		s.fenHigh = 1
+		for s.fenHigh<<1 <= n {
+			s.fenHigh <<= 1
+		}
 	}
-	s.cands = s.cands[:0]
+	for i := range s.fen {
+		s.fen[i] = 0
+	}
+	s.count = 0
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
 		s.acts[v] = s.proto.Enabled(id, s.acts[v][:0])
 		on := len(s.acts[v]) > 0
 		s.enabled[v] = on
 		if on {
-			s.cands = append(s.cands, Candidate{Node: id, Actions: s.acts[v]})
+			s.fen[v+1] = 1
+			s.count++
 		}
 	}
+	// Linear Fenwick build from the leaf bits.
+	for i := 1; i <= n; i++ {
+		if j := i + (i & -i); j <= n {
+			s.fen[j] += s.fen[i]
+		}
+	}
+	s.memoIdx = -1
 	s.inited = true
 }
+
+// fenFlip adds delta (±1) to node v's enabled bit.
+func (s *System) fenFlip(v graph.NodeID, delta int32) {
+	for i := int(v) + 1; i < len(s.fen); i += i & -i {
+		s.fen[i] += delta
+	}
+}
+
+// selectEnabled returns the node with exactly k enabled nodes before
+// it — the k-th (0-based) element of the ascending enabled set — in
+// O(log n) by binary lifting over the Fenwick tree. k must be in
+// [0, count).
+func (s *System) selectEnabled(k int) graph.NodeID {
+	idx := 0
+	rem := int32(k + 1)
+	for bit := s.fenHigh; bit > 0; bit >>= 1 {
+		if next := idx + bit; next < len(s.fen) && s.fen[next] < rem {
+			rem -= s.fen[next]
+			idx = next
+		}
+	}
+	return graph.NodeID(idx)
+}
+
+// at resolves rank i to a node id, memoising the last query so the
+// At+Actions pair daemons issue per index costs one lookup. A request
+// for the next rank scans the bitmap for the successor instead of
+// re-descending the Fenwick tree: enabled sets are dense exactly when
+// daemons enumerate them front to back (synchronous/distributed
+// scheduling mid-stabilization), so the gap is short and a full
+// enumeration costs O(n + count) like the pre-EnabledSet candidate
+// slice did; the scan is bounded so sparse sets still fall back to
+// the O(log n) select.
+func (s *System) at(i int) graph.NodeID {
+	if i == s.memoIdx {
+		return s.memoNode
+	}
+	if s.memoIdx >= 0 && i == s.memoIdx+1 {
+		for v, limit := int(s.memoNode)+1, int(s.memoNode)+64; v < len(s.enabled) && v <= limit; v++ {
+			if s.enabled[v] {
+				s.memoIdx, s.memoNode = i, graph.NodeID(v)
+				return s.memoNode
+			}
+		}
+	}
+	v := s.selectEnabled(i)
+	s.memoIdx, s.memoNode = i, v
+	return v
+}
+
+// incView is the incremental scheduler's EnabledSet: rank queries over
+// the Fenwick index, O(1) membership from the enabled bitmap.
+type incView struct{ s *System }
+
+// Len implements EnabledSet.
+func (w incView) Len() int { return w.s.count }
+
+// At implements EnabledSet.
+func (w incView) At(i int) graph.NodeID { return w.s.at(i) }
+
+// Actions implements EnabledSet.
+func (w incView) Actions(i int, buf []ActionID) []ActionID {
+	return append(buf, w.s.acts[w.s.at(i)]...)
+}
+
+// Contains implements EnabledSet.
+func (w incView) Contains(v graph.NodeID) bool { return w.s.enabled[v] }
 
 // markDirty queues u for guard re-evaluation at the end of the step.
 func (s *System) markDirty(u graph.NodeID) {
@@ -207,17 +314,29 @@ func (s *System) markInfluence(v graph.NodeID, a ActionID) {
 }
 
 // beginRoundIncremental records the currently enabled processors as the
-// new round's pending set.
+// new round's pending set. Sparse sets walk the Fenwick index
+// (O(count·log n) — steady-state rounds close every few steps, so a
+// Θ(n) sweep per round would dominate stepping); dense sets sweep the
+// bitmap instead (O(n) beats count root-to-leaf descents once count
+// is a fair fraction of n).
 func (s *System) beginRoundIncremental() {
-	for _, c := range s.cands {
-		s.pending[c.Node] = true
+	if s.count*8 >= len(s.enabled) {
+		for v, on := range s.enabled {
+			if on {
+				s.pending[v] = true
+			}
+		}
+	} else {
+		for i := 0; i < s.count; i++ {
+			s.pending[s.selectEnabled(i)] = true
+		}
 	}
-	s.pendingCount = len(s.cands)
+	s.pendingCount = s.count
 	s.roundOpen = true
 }
 
-// Step performs one daemon step: hand the enabled processors to the
-// daemon, execute its selection in order with guard re-validation, then
+// Step performs one daemon step: hand the enabled set to the daemon,
+// execute its selection in order with guard re-validation, then
 // restore the dirty-set invariant. It returns the number of moves that
 // fired; 0 with a nil error means the configuration is terminal (no
 // enabled actions).
@@ -232,12 +351,13 @@ func (s *System) Step() (int, error) {
 	if !s.roundOpen {
 		s.beginRoundIncremental()
 	}
-	if len(s.cands) == 0 {
+	if s.count == 0 {
 		return 0, nil
 	}
-	selected := s.daemon.Select(s.cands)
+	s.memoIdx = -1
+	selected := s.daemon.Select(incView{s})
 	if len(selected) == 0 {
-		return 0, fmt.Errorf("program: daemon %q selected no move from %d candidates", s.daemon.Name(), len(s.cands))
+		return 0, fmt.Errorf("program: daemon %q selected no move from %d candidates", s.daemon.Name(), s.count)
 	}
 	s.epoch++
 	s.dirty = s.dirty[:0]
@@ -266,54 +386,36 @@ func (s *System) Step() (int, error) {
 }
 
 // refreshDirty re-evaluates the guards of every dirty node, updates the
-// cached action lists, discharges pending processors seen disabled, and
-// rebuilds the sorted candidate list with one merge pass.
+// cached action lists and the Fenwick index, discharges pending
+// processors seen disabled, and refreshes the armed witness's per-node
+// contributions — O(log n) per enabledness flip, no global rebuild.
 func (s *System) refreshDirty() {
 	if len(s.dirty) == 0 {
 		return
 	}
-	s.adds = s.adds[:0]
 	for _, v := range s.dirty {
 		was := s.enabled[v]
 		s.acts[v] = s.proto.Enabled(v, s.acts[v][:0])
 		now := len(s.acts[v]) > 0
-		s.enabled[v] = now
-		if now && !was {
-			s.adds = append(s.adds, v)
+		if now != was {
+			s.enabled[v] = now
+			if now {
+				s.fenFlip(v, 1)
+				s.count++
+			} else {
+				s.fenFlip(v, -1)
+				s.count--
+			}
 		}
 		if !now && s.pending[v] {
 			s.pending[v] = false
 			s.pendingCount--
 		}
-	}
-	// Insertion sort: the additions are a handful of nodes (⊆ the
-	// dirty set), and the merge below needs them in ascending order.
-	for i := 1; i < len(s.adds); i++ {
-		for j := i; j > 0 && s.adds[j] < s.adds[j-1]; j-- {
-			s.adds[j], s.adds[j-1] = s.adds[j-1], s.adds[j]
+		if s.witness != nil {
+			s.witness.WitnessRefresh(v)
 		}
 	}
-	next := s.spare[:0]
-	ai := 0
-	for _, c := range s.cands {
-		for ai < len(s.adds) && s.adds[ai] < c.Node {
-			u := s.adds[ai]
-			next = append(next, Candidate{Node: u, Actions: s.acts[u]})
-			ai++
-		}
-		if !s.enabled[c.Node] {
-			continue
-		}
-		// Re-take the slice header: the re-evaluation above may have
-		// changed its length or moved its backing array.
-		next = append(next, Candidate{Node: c.Node, Actions: s.acts[c.Node]})
-	}
-	for ; ai < len(s.adds); ai++ {
-		u := s.adds[ai]
-		next = append(next, Candidate{Node: u, Actions: s.acts[u]})
-	}
-	s.spare = s.cands[:0]
-	s.cands = next
+	s.memoIdx = -1
 }
 
 // enabledCandidates gathers the enabled processors into s.fullCands by
@@ -343,7 +445,7 @@ func (s *System) stepFullScan() (int, error) {
 	if len(cands) == 0 {
 		return 0, nil
 	}
-	selected := s.daemon.Select(cands)
+	selected := s.daemon.Select(CandidateSet(cands))
 	if len(selected) == 0 {
 		return 0, fmt.Errorf("program: daemon %q selected no move from %d candidates", s.daemon.Name(), len(cands))
 	}
@@ -427,13 +529,30 @@ func (s *System) RunUntil(pred func() bool, maxSteps int64) (RunResult, error) {
 }
 
 // RunUntilLegitimate runs until the protocol's legitimacy predicate
-// holds. The protocol must implement Legitimacy.
+// holds. The protocol must implement Legitimacy. If the protocol also
+// implements Witness (and the system is the incremental scheduler),
+// the per-step decision comes from the incrementally-maintained
+// witness in O(1) instead of an O(n) Legitimate() scan; the two are
+// equivalent by the Witness contract (CheckWitness audits it).
 func (s *System) RunUntilLegitimate(maxSteps int64) (RunResult, error) {
 	leg, ok := s.proto.(Legitimacy)
 	if !ok {
 		return RunResult{}, fmt.Errorf("program: protocol %q has no legitimacy predicate", s.proto.Name())
 	}
+	if w, ok := s.proto.(Witness); ok && !s.fullScan {
+		s.armWitness(w)
+		return s.RunUntil(w.WitnessLegitimate, maxSteps)
+	}
 	return s.RunUntil(leg.Legitimate, maxSteps)
+}
+
+// armWitness (re)synchronises w with the current configuration and
+// registers it for dirty-set refreshes. Idempotent while armed.
+func (s *System) armWitness(w Witness) {
+	if s.witness == nil {
+		w.WitnessReset()
+		s.witness = w
+	}
 }
 
 // HoldsFor verifies closure empirically: it steps the system extra
@@ -469,5 +588,5 @@ func (s *System) EnabledCount() int {
 		return len(s.enabledCandidates())
 	}
 	s.ensureInit()
-	return len(s.cands)
+	return s.count
 }

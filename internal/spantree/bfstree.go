@@ -26,6 +26,9 @@ type BFSTree struct {
 	// wantDist caches the true BFS distances for the legitimacy
 	// predicate.
 	wantDist []int
+
+	// wit is the incremental legitimacy witness (see witness.go).
+	wit program.ViolationCounter
 }
 
 // ActFix is BFSTree's single action: recompute distance and parent.

@@ -31,6 +31,9 @@ type DFSTree struct {
 
 	// want caches the true minimal paths for the legitimacy predicate.
 	want [][]int
+
+	// wit is the incremental legitimacy witness (see witness.go).
+	wit program.ViolationCounter
 }
 
 // Compile-time interface compliance.

@@ -1,0 +1,83 @@
+package spantree
+
+import (
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// This file implements program.Witness for both self-stabilizing tree
+// substrates. Their legitimacy predicates are plain per-node
+// conjunctions, so each witness is one program.ViolationCounter: node
+// v contributes a violation iff its clause of Legitimate() fails, and
+// the clause reads at most v's closed 1-hop neighbourhood — within
+// both protocols' declared influence sets, so the runner's dirty-set
+// refreshes keep the counter exact.
+
+// Compile-time interface compliance.
+var (
+	_ program.Witness = (*BFSTree)(nil)
+	_ program.Witness = (*DFSTree)(nil)
+	_ program.Witness = (*Oracle)(nil)
+)
+
+// bfsViolates is BFSTree's Legitimate() clause at v: the action is
+// enabled, or the distance disagrees with the true BFS distance.
+func (t *BFSTree) bfsViolates(v graph.NodeID) bool {
+	d, p := t.desired(v)
+	return t.dist[v] != d || t.par[v] != p || t.dist[v] != t.wantDist[v]
+}
+
+// WitnessReset implements program.Witness.
+func (t *BFSTree) WitnessReset() { t.wit.Reset(t.g.N(), t.bfsViolates) }
+
+// WitnessRefresh implements program.Witness.
+func (t *BFSTree) WitnessRefresh(v graph.NodeID) {
+	if t.wit.Valid() {
+		t.wit.Refresh(v, t.bfsViolates(v))
+	}
+}
+
+// WitnessLegitimate implements program.Witness.
+func (t *BFSTree) WitnessLegitimate() bool {
+	if !t.wit.Valid() {
+		t.WitnessReset()
+	}
+	return t.wit.Zero()
+}
+
+// dfsViolates is DFSTree's Legitimate() clause at v: the path differs
+// from the true minimal path. It reads only v's own variable.
+func (t *DFSTree) dfsViolates(v graph.NodeID) bool {
+	return !pathEqual(t.path[v], t.want[v])
+}
+
+// WitnessReset implements program.Witness.
+func (t *DFSTree) WitnessReset() { t.wit.Reset(t.g.N(), t.dfsViolates) }
+
+// WitnessRefresh implements program.Witness.
+func (t *DFSTree) WitnessRefresh(v graph.NodeID) {
+	if t.wit.Valid() {
+		t.wit.Refresh(v, t.dfsViolates(v))
+	}
+}
+
+// WitnessLegitimate implements program.Witness.
+func (t *DFSTree) WitnessLegitimate() bool {
+	if !t.wit.Valid() {
+		t.WitnessReset()
+	}
+	return t.wit.Zero()
+}
+
+// The fixed Oracle is legitimate by construction; its witness is the
+// constant true, giving layers composed over it an O(1) substrate
+// verdict.
+
+// WitnessReset implements program.Witness.
+func (o *Oracle) WitnessReset() {}
+
+// WitnessRefresh implements program.Witness.
+func (o *Oracle) WitnessRefresh(graph.NodeID) {}
+
+// WitnessLegitimate implements program.Witness.
+func (o *Oracle) WitnessLegitimate() bool { return true }

@@ -1,0 +1,53 @@
+package spantree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+)
+
+// TestTreeWitnessesMatchLegitimate audits both tree substrates'
+// incremental legitimacy witnesses against their O(n) predicates on
+// random executions across topologies and daemons.
+func TestTreeWitnessesMatchLegitimate(t *testing.T) {
+	t.Parallel()
+	graphs := map[string]*graph.Graph{
+		"ring8":    graph.Ring(8),
+		"grid3x4":  graph.Grid(3, 4),
+		"lollipop": graph.Lollipop(4, 4),
+	}
+	protos := map[string]func(g *graph.Graph) (program.Protocol, error){
+		"bfstree": func(g *graph.Graph) (program.Protocol, error) { return spantree.NewBFSTree(g, 0) },
+		"dfstree": func(g *graph.Graph) (program.Protocol, error) { return spantree.NewDFSTree(g, 0) },
+	}
+	daemons := map[string]func(int64) program.Daemon{
+		"central":     func(s int64) program.Daemon { return daemon.NewCentral(s) },
+		"distributed": func(s int64) program.Daemon { return daemon.NewDistributed(s, 0.5) },
+	}
+	configs, steps := 10, 400
+	if testing.Short() {
+		configs, steps = 3, 150
+	}
+	for gname, g := range graphs {
+		for pname, build := range protos {
+			for dname, mk := range daemons {
+				g, build, mk := g, build, mk
+				t.Run(gname+"/"+pname+"/"+dname, func(t *testing.T) {
+					t.Parallel()
+					p, err := build(g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(17))
+					if err := program.CheckWitness(p, configs, steps, func() program.Daemon { return mk(17) }, rng); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -59,6 +59,10 @@ type Circulator struct {
 	// RunUntilLegitimate loops, so this is hot.
 	chainStamp []uint64
 	chainEpoch uint64
+
+	// wit is the incremental legitimacy witness (see witness.go);
+	// lazily allocated when the runner arms it.
+	wit *circWitness
 }
 
 // Action identifiers of Circulator.
@@ -364,6 +368,18 @@ func (c *Circulator) Influence(v graph.NodeID, _ program.ActionID, buf []graph.N
 	return program.InfluenceClosedNeighborhood(c.g, v, buf)
 }
 
+// Finished implements Substrate: done_v.
+func (c *Circulator) Finished(v graph.NodeID) bool { return c.done[v] }
+
+// Pointing implements Substrate: the neighbour v's pointer designates.
+func (c *Circulator) Pointing(v graph.NodeID) graph.NodeID { return c.ptrTarget(v) }
+
+// SameRound implements Substrate: seq_u = seq_v.
+func (c *Circulator) SameRound(u, v graph.NodeID) bool { return c.seq[u] == c.seq[v] }
+
+// Behind implements Substrate: seq_u < seq_v.
+func (c *Circulator) Behind(u, v graph.NodeID) bool { return c.seq[u] < c.seq[v] }
+
 // HasToken implements Substrate: v holds the token iff a token-moving
 // action (Start, Forward or Advance) is enabled at v.
 func (c *Circulator) HasToken(v graph.NodeID) bool {
@@ -466,7 +482,7 @@ func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64) bool {
 				return false
 			}
 			p := c.par[v]
-			if id == c.root || p == graph.None || c.seq[p] != rnd || c.lev[v] != c.lev[p]+1 {
+			if id == c.root || p == graph.None || !c.g.HasEdge(id, p) || c.seq[p] != rnd || c.lev[v] != c.lev[p]+1 {
 				return false
 			}
 		case c.seq[v]+1 == rnd:
@@ -539,6 +555,9 @@ func (c *Circulator) Restore(data []byte) error {
 		}
 		if c.lev[v] > n {
 			c.lev[v] = n
+		}
+		if c.par[v] != graph.None && !c.g.HasEdge(graph.NodeID(v), c.par[v]) {
+			c.par[v] = graph.None
 		}
 	}
 	return nil

@@ -39,6 +39,19 @@ type Oracle struct {
 	events []oracleEvent
 	parent []graph.NodeID
 	pos    int
+
+	// Live traversal status, maintained in O(1) per executed event so
+	// the Substrate introspection queries (Finished, Pointing,
+	// SameRound, Behind) answer without replaying the trace. The
+	// status mirrors the circulator's post-advance configurations:
+	// a node starts exploring its first DFS child the moment it is
+	// visited, moves to the next child when the token backtracks, and
+	// finishes when its children are exhausted.
+	children [][]graph.NodeID // DFS-tree children in port order
+	round    uint64           // increments at every RootStart
+	vround   []uint64         // round in which v was last visited
+	done     []bool           // v's subtree fully explored this round
+	childIdx []int            // index into children[v] of the child being explored
 }
 
 // Compile-time interface compliance.
@@ -67,10 +80,12 @@ func NewOracle(g *graph.Graph, root graph.NodeID) (*Oracle, error) {
 }
 
 // build precomputes one round's event trace by recursive DFS in port
-// order.
+// order, and initialises the live status to the between-rounds
+// configuration (everyone finished, positioned before the RootStart).
 func (o *Oracle) build() {
 	n := o.g.N()
 	o.parent = make([]graph.NodeID, n)
+	o.children = make([][]graph.NodeID, n)
 	visited := make([]bool, n)
 	for i := range o.parent {
 		o.parent[i] = graph.None
@@ -84,12 +99,64 @@ func (o *Oracle) build() {
 				continue
 			}
 			o.parent[q] = v
+			o.children[v] = append(o.children[v], q)
 			o.events = append(o.events, oracleEvent{kind: evForward, actor: q, other: v})
 			visit(q)
 			o.events = append(o.events, oracleEvent{kind: evBacktrack, actor: v, other: q})
 		}
 	}
 	visit(o.root)
+	o.resetStatus()
+}
+
+// resetStatus rewinds the live status to the between-rounds base.
+func (o *Oracle) resetStatus() {
+	n := o.g.N()
+	if o.vround == nil {
+		o.vround = make([]uint64, n)
+		o.done = make([]bool, n)
+		o.childIdx = make([]int, n)
+	}
+	o.round = 0
+	for v := 0; v < n; v++ {
+		o.vround[v] = 0
+		o.done[v] = true
+		o.childIdx[v] = 0
+	}
+}
+
+// applyStatus folds one executed event into the live status.
+func (o *Oracle) applyStatus(e oracleEvent) {
+	switch e.kind {
+	case evRootStart:
+		o.round++
+		o.visitStatus(o.root)
+	case evForward:
+		o.visitStatus(e.actor)
+	case evBacktrack:
+		o.childIdx[e.actor]++
+		if o.childIdx[e.actor] == len(o.children[e.actor]) {
+			o.done[e.actor] = true
+		}
+	}
+}
+
+// visitStatus marks v visited in the current round, exploring its
+// first DFS child (or finished outright, for DFS leaves).
+func (o *Oracle) visitStatus(v graph.NodeID) {
+	o.vround[v] = o.round
+	o.childIdx[v] = 0
+	o.done[v] = len(o.children[v]) == 0
+}
+
+// rebuildStatus replays the round prefix ending at o.pos from the
+// between-rounds base — O(round length), used only by Restore and
+// Randomize, which reposition arbitrarily.
+func (o *Oracle) rebuildStatus() {
+	o.resetStatus()
+	for i := 0; i < o.pos; i++ {
+		o.applyStatus(o.events[i])
+	}
 }
 
 // Name implements program.Protocol.
@@ -112,6 +179,23 @@ func (o *Oracle) HasToken(v graph.NodeID) bool {
 	return o.events[o.pos].actor == v
 }
 
+// Finished implements Substrate.
+func (o *Oracle) Finished(v graph.NodeID) bool { return o.done[v] }
+
+// Pointing implements Substrate: the DFS child v currently explores.
+func (o *Oracle) Pointing(v graph.NodeID) graph.NodeID {
+	if o.done[v] || o.vround[v] != o.round {
+		return graph.None
+	}
+	return o.children[v][o.childIdx[v]]
+}
+
+// SameRound implements Substrate.
+func (o *Oracle) SameRound(u, v graph.NodeID) bool { return o.vround[u] == o.vround[v] }
+
+// Behind implements Substrate.
+func (o *Oracle) Behind(u, v graph.NodeID) bool { return o.vround[u] < o.vround[v] }
+
 // RoundLength returns the number of moves in one circulation round.
 func (o *Oracle) RoundLength() int { return len(o.events) }
 
@@ -131,6 +215,7 @@ func (o *Oracle) Execute(v graph.NodeID, a program.ActionID) bool {
 		return false
 	}
 	o.pos = (o.pos + 1) % len(o.events)
+	o.applyStatus(e)
 	if o.ev != nil {
 		switch e.kind {
 		case evRootStart:
@@ -177,6 +262,7 @@ func (o *Oracle) Restore(data []byte) error {
 		return fmt.Errorf("token: oracle position %d out of range [0,%d)", pos, len(o.events))
 	}
 	o.pos = pos
+	o.rebuildStatus()
 	return nil
 }
 
@@ -184,6 +270,7 @@ func (o *Oracle) Restore(data []byte) error {
 // from an arbitrary point of the round.
 func (o *Oracle) Randomize(rng *rand.Rand) {
 	o.pos = rng.Intn(len(o.events))
+	o.rebuildStatus()
 }
 
 // StateBits implements program.SpaceMeter: the oracle's global

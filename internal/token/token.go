@@ -74,4 +74,32 @@ type Substrate interface {
 	// SetObserver registers the orientation layer's event hooks.
 	// Passing nil removes the observer.
 	SetObserver(ev Events)
+
+	// The four traversal-introspection queries below let the
+	// orientation layer decide its legitimacy predicate from local
+	// position invariants — max[v] is determined by whether v's
+	// subtree is explored and which child it currently explores —
+	// instead of recorded per-cycle snapshots (which cost O(n²)
+	// bytes). All four must be O(Δ) at worst and decidable from the
+	// closed 1-hop neighbourhood of their first argument, matching
+	// the locality contract HasToken already obeys.
+	//
+	// The substrate's legitimate circulation must be the
+	// deterministic port-order DFS from the root (the paper's DFTC);
+	// both realisations here are, and the orientation layer's
+	// reference naming is derived from that traversal directly.
+
+	// Finished reports whether v's subtree is completely explored in
+	// the current round (done_v for the circulator).
+	Finished(v graph.NodeID) bool
+	// Pointing returns the neighbour v's exploration pointer
+	// currently designates — the child being explored, or the next
+	// unvisited neighbour an in-flight arrow targets — or None.
+	Pointing(v graph.NodeID) graph.NodeID
+	// SameRound reports whether u's round counter equals v's
+	// (seq_u = seq_v for the circulator). Meaningful for neighbours.
+	SameRound(u, v graph.NodeID) bool
+	// Behind reports whether u's round counter is strictly smaller
+	// than v's (seq_u < seq_v for the circulator).
+	Behind(u, v graph.NodeID) bool
 }

@@ -1,0 +1,195 @@
+package token
+
+import (
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// This file implements program.Witness for Circulator: an O(1)
+// decision procedure for Legitimate() maintained from per-node
+// violation counters keyed by round value.
+//
+// # Why counters keyed by seq suffice
+//
+// Legitimate() walks the pointer chain from the root — a global check.
+// The witness decomposes it into five per-node facts, each a function
+// of the node's closed 1-hop neighbourhood (so a move refreshes them
+// through its influence set), bucketed by the node's seq value so the
+// O(1) decision can look up exactly the root's round rnd and rnd−1:
+//
+//	cnt[s] — nodes with seq = s.
+//	a[s]   — nodes with seq = s that are not "clean finished"
+//	         (¬done ∨ ptr ≠ −1).
+//	b[s]   — non-root finished nodes with seq = s violating the
+//	         visited shape: ptr ≠ −1, or the parent equations fail
+//	         (par a neighbour, same round, lev = lev_par + 1).
+//	d[s]   — non-root unfinished nodes with seq = s violating the
+//	         chain-link equations: parent a same-round unfinished
+//	         neighbour whose pointer designates the node, lev+1.
+//	e[s]   — unfinished nodes with seq = s whose own pointer violates
+//	         the head cases: retracted, or a same-round unfinished
+//	         chain child (par/lev equations), or a same-round finished
+//	         child awaiting advance, or a one-round-behind finished
+//	         in-flight target.
+//
+// Between rounds (done_root): legitimate ⇔ cnt[rnd] = n ∧ a[rnd] = 0.
+// Mid-round (¬done_root): legitimate ⇔ lev_root = 0 ∧
+// cnt[rnd]+cnt[rnd−1] = n ∧ a[rnd−1] = 0 ∧ b[rnd] = d[rnd] = e[rnd] = 0.
+//
+// The mid-round equivalence with the chain walk: d[rnd] = 0 makes
+// every non-root unfinished node the unique pointer-designated child
+// of an unfinished same-round parent with lev one higher, so parent
+// chains descend in lev and terminate only at the root — the
+// unfinished nodes form exactly one pointer chain from the root, each
+// node having at most one chain child because a pointer designates one
+// neighbour. e[rnd] = 0 pins every chain pointer to the walk's three
+// head cases, b[rnd] = 0 is checkOffChain's visited clause, a[rnd−1] =
+// 0 its unvisited clause, and the cnt equation its default clause.
+// TestWitnessMatchesChainWalk audits the equivalence on random
+// executions; the model-checking suites pin Legitimate() itself.
+type circWitness struct {
+	valid bool
+	tab   map[uint64]witCounters
+	node  []witContrib // cached contribution, for O(1) retraction
+}
+
+// witCounters aggregates one seq bucket.
+type witCounters struct {
+	cnt, a, b, d, e int
+}
+
+// witContrib is one node's cached contribution to its bucket.
+type witContrib struct {
+	seq        uint64
+	a, b, d, e bool
+}
+
+// Compile-time interface compliance.
+var _ program.Witness = (*Circulator)(nil)
+
+// parShapeOK reports the visited-node parent equations at v: par_v is
+// a neighbour in the same round one level up. Reads one hop.
+func (c *Circulator) parShapeOK(v graph.NodeID) bool {
+	p := c.par[v]
+	if p == graph.None || !c.g.HasEdge(v, p) {
+		return false
+	}
+	return c.seq[p] == c.seq[v] && c.lev[v] == c.lev[p]+1
+}
+
+// chainLinkOK reports the chain-membership equations at a non-root
+// unfinished v: its parent is an unfinished same-round neighbour whose
+// pointer designates v, one level down. Reads one hop.
+func (c *Circulator) chainLinkOK(v graph.NodeID) bool {
+	p := c.par[v]
+	if p == graph.None || !c.g.HasEdge(v, p) {
+		return false
+	}
+	return !c.done[p] && c.seq[p] == c.seq[v] && c.lev[v] == c.lev[p]+1 && c.ptrTarget(p) == v
+}
+
+// headPtrOK reports the walk's pointer cases at an unfinished v: the
+// pointer is retracted, continues the chain, awaits an advance past a
+// finished child, or is an in-flight arrow to an unvisited node.
+func (c *Circulator) headPtrOK(v graph.NodeID) bool {
+	q := c.ptrTarget(v)
+	if q == graph.None {
+		return true
+	}
+	switch {
+	case c.seq[q] == c.seq[v] && !c.done[q]:
+		return c.par[q] == v && c.lev[q] == c.lev[v]+1
+	case c.seq[q] == c.seq[v] && c.done[q]:
+		return true
+	case c.seq[q]+1 == c.seq[v] && c.done[q]:
+		return true
+	}
+	return false
+}
+
+// witContribOf derives node v's contribution from its neighbourhood.
+func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
+	w := witContrib{seq: c.seq[v]}
+	w.a = !c.done[v] || c.ptr[v] != -1
+	if v != c.root {
+		if c.done[v] {
+			w.b = c.ptr[v] != -1 || !c.parShapeOK(v)
+		} else {
+			w.d = !c.chainLinkOK(v)
+		}
+	}
+	if !c.done[v] {
+		w.e = !c.headPtrOK(v)
+	}
+	return w
+}
+
+// witApply adds (dir=+1) or retracts (dir=−1) a contribution.
+func (c *Circulator) witApply(w witContrib, dir int) {
+	k := c.wit.tab[w.seq]
+	k.cnt += dir
+	if w.a {
+		k.a += dir
+	}
+	if w.b {
+		k.b += dir
+	}
+	if w.d {
+		k.d += dir
+	}
+	if w.e {
+		k.e += dir
+	}
+	if k == (witCounters{}) {
+		delete(c.wit.tab, w.seq) // keep the table at O(live rounds), not O(history)
+	} else {
+		c.wit.tab[w.seq] = k
+	}
+}
+
+// WitnessReset implements program.Witness.
+func (c *Circulator) WitnessReset() {
+	if c.wit == nil {
+		c.wit = &circWitness{node: make([]witContrib, c.g.N())}
+	}
+	if c.wit.tab == nil || len(c.wit.tab) > 0 {
+		c.wit.tab = make(map[uint64]witCounters, 4)
+	}
+	for v := 0; v < c.g.N(); v++ {
+		w := c.witContribOf(graph.NodeID(v))
+		c.wit.node[v] = w
+		c.witApply(w, 1)
+	}
+	c.wit.valid = true
+}
+
+// WitnessRefresh implements program.Witness.
+func (c *Circulator) WitnessRefresh(v graph.NodeID) {
+	if c.wit == nil || !c.wit.valid {
+		return
+	}
+	w := c.witContribOf(v)
+	if w == c.wit.node[v] {
+		return
+	}
+	c.witApply(c.wit.node[v], -1)
+	c.wit.node[v] = w
+	c.witApply(w, 1)
+}
+
+// WitnessLegitimate implements program.Witness, deciding Legitimate()
+// from the counters in O(1).
+func (c *Circulator) WitnessLegitimate() bool {
+	if c.wit == nil || !c.wit.valid {
+		c.WitnessReset()
+	}
+	rnd := c.seq[c.root]
+	k := c.wit.tab[rnd]
+	if c.done[c.root] {
+		return k.cnt == c.g.N() && k.a == 0
+	}
+	kp := c.wit.tab[rnd-1]
+	return c.lev[c.root] == 0 &&
+		k.cnt+kp.cnt == c.g.N() &&
+		kp.a == 0 && k.b == 0 && k.d == 0 && k.e == 0
+}
