@@ -89,6 +89,11 @@ func BenchmarkT11Scheduler(b *testing.B) { runExperiment(b, "T11") }
 // comparison (also committed in BENCH_scheduler.json).
 func BenchmarkT12Witness(b *testing.B) { runExperiment(b, "T12") }
 
+// BenchmarkT13Churn regenerates the dynamic-topology comparison —
+// localized ApplyDelta invalidation vs whole-system Invalidate and
+// churn-rate recovery (also committed in BENCH_scheduler.json).
+func BenchmarkT13Churn(b *testing.B) { runExperiment(b, "T13") }
+
 // Micro-benchmarks of the moving parts, with shape metrics reported
 // per operation.
 

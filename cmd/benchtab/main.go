@@ -145,8 +145,9 @@ type jsonTable struct {
 // stop matching the baseline.
 func descriptorCols(headers []string) int {
 	for i, h := range headers {
-		if h == "steps" || strings.Contains(h, "ns/step") || strings.Contains(h, "evals/step") ||
-			strings.Contains(h, "scans") || strings.Contains(h, "speedup") {
+		if h == "steps" || h == "events" || strings.Contains(h, "ns/step") ||
+			strings.Contains(h, "evals") || strings.Contains(h, "scans") ||
+			strings.Contains(h, "speedup") {
 			return i
 		}
 	}

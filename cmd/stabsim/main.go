@@ -1,12 +1,18 @@
 // Command stabsim runs stabilization campaigns: repeated convergence
-// measurements from arbitrary configurations and transient-fault
-// recovery, for any protocol stack in the library.
+// measurements from arbitrary configurations, transient-fault
+// recovery, and topology-churn recovery, for any protocol stack in
+// the library.
 //
 // Usage:
 //
 //	stabsim -graph grid:4x4 -proto dftno -daemon central -trials 20
 //	stabsim -graph ring:12 -proto stno -faults 3 -trials 30
 //	stabsim -graph clique:6 -proto token -daemon distributed
+//	stabsim -graph grid:8x8 -proto dftno -churn 10 -churn-kind mixed
+//
+// stabsim exits non-zero whenever a campaign exhausts its step budget
+// without reaching legitimacy — a partially recovered fault or churn
+// campaign is a failure, not a statistic to misread as success.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"math/rand"
 	"os"
 
+	"netorient/internal/churn"
 	"netorient/internal/core"
 	"netorient/internal/daemon"
 	"netorient/internal/fault"
@@ -81,12 +88,17 @@ func daemonFactory(name string, seed int64) (func(int) program.Daemon, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("stabsim", flag.ContinueOnError)
 	var (
-		spec   = fs.String("graph", "grid:4x4", "graph spec (see internal/graph.Named)")
-		proto  = fs.String("proto", "dftno", "protocol: dftno|stno|token|bfstree|dfstree")
-		dmn    = fs.String("daemon", "central", "daemon: central|distributed|synchronous|round-robin")
-		trials = fs.Int("trials", 20, "number of trials")
-		faults = fs.Int("faults", 0, "if >0, run a fault campaign corrupting this many nodes per trial")
-		seed   = fs.Int64("seed", 1, "random seed")
+		spec       = fs.String("graph", "grid:4x4", "graph spec (see internal/graph.Named)")
+		proto      = fs.String("proto", "dftno", "protocol: dftno|stno|token|bfstree|dfstree")
+		dmn        = fs.String("daemon", "central", "daemon: central|distributed|synchronous|round-robin")
+		trials     = fs.Int("trials", 20, "number of trials")
+		faults     = fs.Int("faults", 0, "if >0, run a fault campaign corrupting this many nodes per trial")
+		seed       = fs.Int64("seed", 1, "random seed")
+		budgetFlag = fs.Int64("budget", 0, "step budget per recovery (0 = 50000·(n+m))")
+		churnN     = fs.Int("churn", 0, "if >0, run a churn campaign with this many topology events")
+		churnKind  = fs.String("churn-kind", "mixed", "churn events: flap|crash|partition|mixed")
+		churnPer   = fs.Int64("churn-period", 2000, "steps between churn events (recovery window)")
+		churnDown  = fs.Int64("churn-down", 200, "steps a removed element stays down")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +116,60 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	budget := int64(50000 * (g.N() + g.M()))
+	budget := *budgetFlag
+	if budget <= 0 {
+		budget = int64(50000 * (g.N() + g.M()))
+	}
+
+	if *churnN > 0 {
+		var mix []churn.Kind
+		switch *churnKind {
+		case "flap":
+			mix = []churn.Kind{churn.EdgeFlap}
+		case "crash":
+			mix = []churn.Kind{churn.NodeCrash}
+		case "partition":
+			mix = []churn.Kind{churn.Partition}
+		case "mixed":
+			mix = []churn.Kind{churn.EdgeFlap, churn.NodeCrash, churn.Partition}
+		default:
+			return fmt.Errorf("unknown churn kind %q (flap|crash|partition|mixed)", *churnKind)
+		}
+		sys := program.NewSystem(p, mkDaemon(0))
+		run := &churn.Runner{G: g, Sys: sys, Root: 0}
+		st, err := run.Run(churn.Config{
+			Seed:     *seed,
+			Events:   *churnN,
+			Period:   *churnPer,
+			DownFor:  *churnDown,
+			Mix:      mix,
+			MaxSteps: budget,
+		})
+		if err != nil {
+			return err
+		}
+		ss := trace.SummarizeInts(st.RecoverySteps)
+		ms := trace.SummarizeInts(st.RecoveryMoves)
+		rs := trace.SummarizeInts(st.RecoveryRounds)
+		tb := trace.NewTable(
+			fmt.Sprintf("churn recovery: %s on %s, %d %s events, period=%d, daemon=%s",
+				*proto, g, st.Events, *churnKind, *churnPer, *dmn),
+			"recovered in period", "deltas", "median steps", "median moves", "median rounds", "max rounds",
+			"final recovery")
+		final := fmt.Sprintf("converged (moves=%d rounds=%d)", st.Final.Moves, st.Final.Rounds)
+		if !st.Final.Converged {
+			final = "NOT CONVERGED"
+		}
+		tb.AddRow(fmt.Sprintf("%d/%d", st.RecoveredInPeriod, st.Events), st.Deltas,
+			ss.Median, ms.Median, rs.Median, rs.Max, final)
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		if !st.Final.Converged {
+			return fmt.Errorf("churn campaign exhausted %d steps without final legitimacy", budget)
+		}
+		return nil
+	}
 
 	if *faults > 0 {
 		out, err := fault.Campaign{
@@ -121,13 +186,20 @@ func run(args []string) error {
 		rs := trace.SummarizeInts(out.RecoveryRounds)
 		tb := trace.NewTable(
 			fmt.Sprintf("fault recovery: %s on %s, %d faults/trial, daemon=%s", *proto, g, *faults, *dmn),
-			"recovered", "median moves", "p95 moves", "max moves", "median rounds")
-		tb.AddRow(fmt.Sprintf("%d/%d", out.Recovered, out.Trials), ms.Median, ms.P95, ms.Max, rs.Median)
-		return tb.Render(os.Stdout)
+			"recovered", "median moves", "p95 moves", "max moves", "median rounds", "max rounds")
+		tb.AddRow(fmt.Sprintf("%d/%d", out.Recovered, out.Trials), ms.Median, ms.P95, ms.Max, rs.Median, rs.Max)
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		if out.Recovered != out.Trials {
+			return fmt.Errorf("%d of %d trials exhausted %d steps without legitimacy",
+				out.Trials-out.Recovered, out.Trials, budget)
+		}
+		return nil
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	var moves, rounds []int64
+	var steps, moves, rounds []int64
 	for trial := 0; trial < *trials; trial++ {
 		p.Randomize(rng)
 		sys := program.NewSystem(p, mkDaemon(trial))
@@ -136,16 +208,19 @@ func run(args []string) error {
 			return err
 		}
 		if !res.Converged {
-			return fmt.Errorf("trial %d: no convergence within %d steps", trial, budget)
+			return fmt.Errorf("trial %d: no convergence within %d steps (%d moves, %d rounds spent)",
+				trial, budget, res.Moves, res.Rounds)
 		}
+		steps = append(steps, res.Steps)
 		moves = append(moves, res.Moves)
 		rounds = append(rounds, res.Rounds)
 	}
+	ss := trace.SummarizeInts(steps)
 	ms := trace.SummarizeInts(moves)
 	rs := trace.SummarizeInts(rounds)
 	tb := trace.NewTable(
 		fmt.Sprintf("stabilization from arbitrary configurations: %s on %s, daemon=%s, %d trials", *proto, g, *dmn, *trials),
-		"median moves", "p95 moves", "max moves", "median rounds", "max rounds")
-	tb.AddRow(ms.Median, ms.P95, ms.Max, rs.Median, rs.Max)
+		"median steps", "median moves", "p95 moves", "max moves", "median rounds", "max rounds")
+	tb.AddRow(ss.Median, ms.Median, ms.P95, ms.Max, rs.Median, rs.Max)
 	return tb.Render(os.Stdout)
 }

@@ -64,6 +64,44 @@
 // speedups on graphs up to 65 536 nodes; CI fails on >2× step-latency
 // regressions against that committed baseline.
 //
+// # Dynamic topology
+//
+// The communication graph is mutable while the system runs: edges and
+// nodes appear and disappear (graph.AddEdge / RemoveEdge / AddNode /
+// RemoveNode), and the protocols — being self-stabilizing — absorb
+// every such event as one more transient fault. The mutable-graph
+// contract (internal/graph/delta.go) has three load-bearing clauses:
+//
+//   - Port stability: removing an edge leaves a hole (graph.None) at
+//     its ports, so every surviving edge keeps its port number and
+//     port-indexed protocol state stays bound to the right edges; a
+//     re-added edge reclaims the lowest holes. Iteration over
+//     Neighbors skips holes; Ports(v) sizes port-indexed arrays,
+//     Degree(v) counts live edges.
+//   - Delta soundness: every mutation returns a graph.Delta listing
+//     exactly the nodes whose local view changed, and bumps the
+//     monotone Version. Mutating the graph and calling
+//     System.ApplyDelta with the returned record are two halves of
+//     one operation — any query in between sees stale caches, the
+//     same staleness rule as Snapshotter.Restore + System.Invalidate.
+//   - ApplyDelta locality: the runner hands the delta to the
+//     protocol's program.TopologyAware hook (rebind port-indexed
+//     state, clamp dangling references — the resulting state may be
+//     arbitrary, but every index stays in-bounds — and report the
+//     event's influence ball), then repairs its guard cache, Fenwick
+//     index, round bookkeeping and witness counters for that ball
+//     only: O(deg·Δ) per topology event, against the Θ(n) rescan of a
+//     whole-system Invalidate (experiment T13 counts it: an edge flap
+//     on a 64×64 grid re-evaluates 10 guards, not 8192, and
+//     re-stabilizes with zero O(n) legitimacy scans). Both schedulers
+//     stay bit-identical across interleaved topology deltas.
+//
+// Package churn turns this into scenarios — seeded edge-flap, node
+// crash/join and partition/heal schedules with per-event recovery
+// measurement — and fault.Churn composes topology faults with state
+// corruption into campaigns; cmd/stabsim exposes both
+// (-faults, -churn).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;
 // the runnable entry points are the programs in cmd/ and examples/.

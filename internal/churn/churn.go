@@ -1,0 +1,424 @@
+// Package churn drives seeded topology-event schedules over a running
+// program.System: edge flaps, node crash/join cycles and network
+// partitions with later heals, applied through graph mutation +
+// System.ApplyDelta so the incremental machinery survives every event.
+// It is the operational test of the headline property: the protocols
+// are self-stabilizing, so a topology change is just another transient
+// fault, and the system must re-converge from whatever state the event
+// leaves behind (Devismes–Ilcinkas–Johnen make exactly this scenario —
+// tree maintenance under disconnection/reconnection — the benchmark
+// for dynamic self-stabilization).
+//
+// The engine serialises events: each event takes an element down,
+// lets the system run for a configurable number of steps, restores the
+// element, then measures re-stabilization inside the recovery window.
+// Event selection is seeded and connectivity-preserving (the live
+// graph stays connected outside partition-down phases, and the root is
+// never crashed — the paper's model has no root failover).
+package churn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// Kind selects a churn scenario.
+type Kind uint8
+
+// Scenario kinds.
+const (
+	// EdgeFlap removes one connectivity-preserving edge and restores
+	// it DownFor steps later.
+	EdgeFlap Kind = iota + 1
+	// NodeCrash removes one connectivity-preserving non-root node
+	// (with all incident edges) and revives it, with its old edges,
+	// DownFor steps later.
+	NodeCrash
+	// Partition cuts every edge between a random region and the rest
+	// of the network, healing the cut DownFor steps later. The down
+	// phase intentionally disconnects the live graph.
+	Partition
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case EdgeFlap:
+		return "edge-flap"
+	case NodeCrash:
+		return "node-crash"
+	case Partition:
+		return "partition"
+	}
+	return "?"
+}
+
+// Config parameterises a churn run.
+type Config struct {
+	// Seed drives event selection.
+	Seed int64
+	// Events is the number of churn events.
+	Events int
+	// Period is the recovery window after each restore, in daemon
+	// steps: re-stabilization is measured inside it, and the next
+	// event fires at its end. It is the inverse churn rate.
+	Period int64
+	// DownFor is how many steps the removed element stays down.
+	DownFor int64
+	// Mix cycles through the scenario kinds; default {EdgeFlap}.
+	Mix []Kind
+	// PartitionSize bounds the cut-off region (default n/4, min 1).
+	PartitionSize int
+	// MaxSteps bounds the final full recovery (default 50000·(n+m)).
+	MaxSteps int64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Events int
+	// Deltas is the number of topology deltas applied (a node crash
+	// is one delta, a partition one per cut edge).
+	Deltas int
+	// RecoveredInPeriod counts events whose restore was followed by
+	// legitimacy within Period steps.
+	RecoveredInPeriod int
+	// RecoverySteps/Moves/Rounds hold one entry per in-period
+	// recovery, measured from the restore.
+	RecoverySteps  []int64
+	RecoveryMoves  []int64
+	RecoveryRounds []int64
+	// Final reports the run-off recovery after the last event.
+	Final program.RunResult
+}
+
+// Errors.
+var (
+	ErrNoCandidate = errors.New("churn: no connectivity-preserving candidate")
+)
+
+// Runner binds a system to its graph for a churn run. The protocol
+// must be the one the System drives, over exactly this graph.
+type Runner struct {
+	G    *graph.Graph
+	Sys  *program.System
+	Root graph.NodeID
+}
+
+// apply performs one graph mutation result on the system.
+func (r *Runner) apply(d graph.Delta, st *Stats) {
+	r.Sys.ApplyDelta(d)
+	st.Deltas++
+}
+
+// idle steps the system without a predicate for exactly n steps (or
+// until terminal — silent protocols stop moving once stabilized).
+func (r *Runner) idle(n int64) error {
+	_, err := r.Sys.RunUntil(func() bool { return false }, n)
+	return err
+}
+
+// Run executes the configured schedule and measures re-stabilization
+// after every restore. The system's protocol must implement
+// program.Legitimacy (RunUntilLegitimate errors otherwise) and run on
+// exactly r.G.
+func (r *Runner) Run(cfg Config) (Stats, error) {
+	if r.Sys.Protocol().Graph() != r.G {
+		return Stats{}, errors.New("churn: system runs on a different graph than the runner")
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = []Kind{EdgeFlap}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = int64(50000 * (r.G.N() + r.G.M()))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var st Stats
+	for e := 0; e < cfg.Events; e++ {
+		kind := mix[e%len(mix)]
+		restore, err := r.takeDown(kind, rng, cfg, &st)
+		if err != nil {
+			return st, fmt.Errorf("churn: event %d (%s): %w", e, kind, err)
+		}
+		if err := r.idle(cfg.DownFor); err != nil {
+			return st, err
+		}
+		if err := restore(); err != nil {
+			return st, fmt.Errorf("churn: event %d (%s) restore: %w", e, kind, err)
+		}
+		st.Events++
+		res, err := r.Sys.RunUntilLegitimate(cfg.Period)
+		if err != nil {
+			return st, err
+		}
+		if res.Converged {
+			st.RecoveredInPeriod++
+			st.RecoverySteps = append(st.RecoverySteps, res.Steps)
+			st.RecoveryMoves = append(st.RecoveryMoves, res.Moves)
+			st.RecoveryRounds = append(st.RecoveryRounds, res.Rounds)
+			if err := r.idle(cfg.Period - res.Steps); err != nil {
+				return st, err
+			}
+		}
+	}
+	final, err := r.Sys.RunUntilLegitimate(maxSteps)
+	if err != nil {
+		return st, err
+	}
+	st.Final = final
+	return st, nil
+}
+
+// takeDown applies one event's down phase and returns the closure that
+// restores it.
+func (r *Runner) takeDown(kind Kind, rng *rand.Rand, cfg Config, st *Stats) (func() error, error) {
+	apply := func(d graph.Delta) { r.apply(d, st) }
+	switch kind {
+	case EdgeFlap:
+		u, v, ok := PickFlapEdge(r.G, rng)
+		if !ok {
+			return nil, ErrNoCandidate
+		}
+		return FlapDown(r.G, u, v, apply)
+
+	case NodeCrash:
+		v, ok := PickCrashNode(r.G, r.Root, rng)
+		if !ok {
+			return nil, ErrNoCandidate
+		}
+		return CrashDown(r.G, v, apply)
+
+	case Partition:
+		size := cfg.PartitionSize
+		if size <= 0 {
+			size = r.G.NAlive() / 4
+		}
+		if size < 1 {
+			size = 1
+		}
+		cut, ok := PickPartitionCut(r.G, r.Root, size, rng)
+		if !ok {
+			return nil, ErrNoCandidate
+		}
+		return CutDown(r.G, cut, apply)
+	}
+	return nil, fmt.Errorf("churn: unknown kind %d", kind)
+}
+
+// FlapDown removes the edge {u,v}, feeding the delta through apply
+// (which must call System.ApplyDelta on every system driving a
+// protocol over g), and returns the closure that restores the edge the
+// same way. The down/restore choreography lives here once; the engine
+// and the fault.Churn campaign both consume it.
+func FlapDown(g *graph.Graph, u, v graph.NodeID, apply func(graph.Delta)) (func() error, error) {
+	d, err := g.RemoveEdge(u, v)
+	if err != nil {
+		return nil, err
+	}
+	apply(d)
+	return func() error {
+		d2, err := g.AddEdge(u, v)
+		if err != nil {
+			return err
+		}
+		apply(d2)
+		return nil
+	}, nil
+}
+
+// CrashDown removes node v with every incident edge and returns the
+// closure that revives it (AddNode revives the lowest dead slot — v,
+// when crashes are restored before the next one drops) and reattaches
+// its surviving ex-neighbours.
+func CrashDown(g *graph.Graph, v graph.NodeID, apply func(graph.Delta)) (func() error, error) {
+	d, err := g.RemoveNode(v)
+	if err != nil {
+		return nil, err
+	}
+	ex := append([]graph.NodeID(nil), d.Touched[1:]...)
+	apply(d)
+	return func() error {
+		id, d2 := g.AddNode()
+		apply(d2)
+		for _, q := range ex {
+			if g.Alive(q) && !g.HasEdge(id, q) {
+				d3, err := g.AddEdge(id, q)
+				if err != nil {
+					return err
+				}
+				apply(d3)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// CutDown removes every edge of the cut and returns the closure that
+// re-adds the ones whose endpoints are still alive.
+func CutDown(g *graph.Graph, cut []graph.Edge, apply func(graph.Delta)) (func() error, error) {
+	for _, e := range cut {
+		d, err := g.RemoveEdge(e.U, e.V)
+		if err != nil {
+			return nil, err
+		}
+		apply(d)
+	}
+	return func() error {
+		for _, e := range cut {
+			if !g.Alive(e.U) || !g.Alive(e.V) || g.HasEdge(e.U, e.V) {
+				continue
+			}
+			d, err := g.AddEdge(e.U, e.V)
+			if err != nil {
+				return err
+			}
+			apply(d)
+		}
+		return nil
+	}, nil
+}
+
+// PickFlapEdge returns a uniformly random live edge whose removal
+// keeps the live graph connected, by rejection sampling (every
+// connected graph that is not a tree has one; on a tree ok is false).
+func PickFlapEdge(g *graph.Graph, rng *rand.Rand) (u, v graph.NodeID, ok bool) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return graph.None, graph.None, false
+	}
+	for attempts := 0; attempts < 4*len(edges)+16; attempts++ {
+		e := edges[rng.Intn(len(edges))]
+		if connectedWithoutEdge(g, e.U, e.V) {
+			return e.U, e.V, true
+		}
+	}
+	return graph.None, graph.None, false
+}
+
+// PickCrashNode returns a uniformly random live non-root node whose
+// removal keeps the rest of the live graph connected.
+func PickCrashNode(g *graph.Graph, root graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	n := g.N()
+	for attempts := 0; attempts < 4*n+16; attempts++ {
+		v := graph.NodeID(rng.Intn(n))
+		if v == root || !g.Alive(v) {
+			continue
+		}
+		if connectedWithoutNode(g, root, v) {
+			return v, true
+		}
+	}
+	return graph.None, false
+}
+
+// PickPartitionCut grows a random connected region of up to `size`
+// live nodes not containing root and returns the edges between the
+// region and the rest — removing them all disconnects exactly that
+// region.
+func PickPartitionCut(g *graph.Graph, root graph.NodeID, size int, rng *rand.Rand) ([]graph.Edge, bool) {
+	n := g.N()
+	var seed graph.NodeID = graph.None
+	for attempts := 0; attempts < 4*n+16; attempts++ {
+		v := graph.NodeID(rng.Intn(n))
+		if v != root && g.Alive(v) {
+			seed = v
+			break
+		}
+	}
+	if seed == graph.None {
+		return nil, false
+	}
+	inRegion := make(map[graph.NodeID]bool, size)
+	inRegion[seed] = true
+	frontier := []graph.NodeID{seed}
+	for len(frontier) > 0 && len(inRegion) < size {
+		v := frontier[0]
+		frontier = frontier[1:]
+		for _, q := range g.Neighbors(v) {
+			if q == graph.None || q == root || inRegion[q] {
+				continue
+			}
+			if len(inRegion) >= size {
+				break
+			}
+			inRegion[q] = true
+			frontier = append(frontier, q)
+		}
+	}
+	var cut []graph.Edge
+	for v := range inRegion {
+		for _, q := range g.Neighbors(v) {
+			if q == graph.None || inRegion[q] {
+				continue
+			}
+			e := graph.Edge{U: v, V: q}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			cut = append(cut, e)
+		}
+	}
+	// Deduplicate (both endpoints in the region never happens, but an
+	// edge is discovered once per region endpoint) and sort for seeded
+	// determinism independent of map iteration.
+	seen := make(map[graph.Edge]bool, len(cut))
+	uniq := cut[:0]
+	for _, e := range cut {
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		return uniq[i].U < uniq[j].U || (uniq[i].U == uniq[j].U && uniq[i].V < uniq[j].V)
+	})
+	return uniq, len(uniq) > 0
+}
+
+// connectedWithoutEdge reports whether the live graph stays connected
+// with the edge {a,b} ignored.
+func connectedWithoutEdge(g *graph.Graph, a, b graph.NodeID) bool {
+	return sweep(g, a, func(u, q graph.NodeID) bool {
+		return (u == a && q == b) || (u == b && q == a)
+	}) == g.NAlive()
+}
+
+// connectedWithoutNode reports whether every live node except x is
+// reachable from start with x ignored.
+func connectedWithoutNode(g *graph.Graph, start, x graph.NodeID) bool {
+	if start == x {
+		return false
+	}
+	reached := sweep(g, start, func(u, q graph.NodeID) bool {
+		return q == x
+	})
+	return reached == g.NAlive()-1
+}
+
+// sweep BFS-counts the live nodes reachable from start, skipping
+// traversals for which skip(from, to) holds.
+func sweep(g *graph.Graph, start graph.NodeID, skip func(u, q graph.NodeID) bool) int {
+	visited := make([]bool, g.N())
+	visited[start] = true
+	queue := []graph.NodeID{start}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, q := range g.Neighbors(u) {
+			if q == graph.None || visited[q] || skip(u, q) {
+				continue
+			}
+			visited[q] = true
+			count++
+			queue = append(queue, q)
+		}
+	}
+	return count
+}

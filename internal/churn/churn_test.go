@@ -1,0 +1,189 @@
+package churn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netorient/internal/churn"
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+type target interface {
+	program.Protocol
+	program.Legitimacy
+}
+
+func buildStack(name string, g *graph.Graph) (target, error) {
+	switch name {
+	case "dftc":
+		return token.NewCirculator(g, 0)
+	case "bfstree":
+		return spantree.NewBFSTree(g, 0)
+	case "dfstree":
+		return spantree.NewDFSTree(g, 0)
+	case "dftno":
+		sub, err := token.NewCirculator(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDFTNO(g, sub, 0)
+	case "stno":
+		sub, err := spantree.NewBFSTree(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSTNO(g, sub, 0)
+	}
+	return nil, fmt.Errorf("unknown stack %q", name)
+}
+
+// TestEngineRecoversAllStacks runs a mixed flap/crash/partition
+// schedule over every protocol stack and requires full recovery: after
+// the last restore the system must re-stabilize and the O(n) predicate
+// must agree.
+func TestEngineRecoversAllStacks(t *testing.T) {
+	t.Parallel()
+	stacks := []string{"dftc", "bfstree", "dfstree", "dftno", "stno"}
+	for _, name := range stacks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := graph.Grid(5, 5)
+			p, err := buildStack(name, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, ok := p.(program.Randomizer); ok {
+				r.Randomize(rand.New(rand.NewSource(6)))
+			}
+			sys := program.NewSystem(p, daemon.NewCentral(2))
+			run := &churn.Runner{G: g, Sys: sys, Root: 0}
+			st, err := run.Run(churn.Config{
+				Seed:    3,
+				Events:  9,
+				Period:  4000,
+				DownFor: 150,
+				Mix:     []churn.Kind{churn.EdgeFlap, churn.NodeCrash, churn.Partition},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Events != 9 {
+				t.Fatalf("ran %d events, want 9", st.Events)
+			}
+			if st.Deltas < 9 {
+				t.Fatalf("only %d deltas applied", st.Deltas)
+			}
+			if !st.Final.Converged {
+				t.Fatalf("no final recovery: %+v", st.Final)
+			}
+			if !p.Legitimate() {
+				t.Fatal("final configuration not legitimate by the O(n) predicate")
+			}
+			if !g.Connected() || g.NAlive() != 25 {
+				t.Fatalf("engine left the graph damaged: %s, alive %d", g, g.NAlive())
+			}
+		})
+	}
+}
+
+// TestEngineDeterminism pins seeded reproducibility: equal seeds give
+// equal schedules and equal recovery statistics.
+func TestEngineDeterminism(t *testing.T) {
+	t.Parallel()
+	runOnce := func() churn.Stats {
+		g := graph.Grid(4, 4)
+		p, err := buildStack("dftno", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := program.NewSystem(p, daemon.NewCentral(8))
+		run := &churn.Runner{G: g, Sys: sys, Root: 0}
+		st, err := run.Run(churn.Config{Seed: 5, Events: 5, Period: 3000, DownFor: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := runOnce(), runOnce()
+	if a.Deltas != b.Deltas || a.RecoveredInPeriod != b.RecoveredInPeriod ||
+		fmt.Sprint(a.RecoveryMoves) != fmt.Sprint(b.RecoveryMoves) {
+		t.Fatalf("seeded runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestPickersPreserveConnectivity checks the seeded selection helpers
+// directly.
+func TestPickersPreserveConnectivity(t *testing.T) {
+	t.Parallel()
+	g := graph.Grid(4, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		u, v, ok := churn.PickFlapEdge(g, rng)
+		if !ok {
+			t.Fatal("grid has removable edges")
+		}
+		if _, err := g.RemoveEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("flap pick {%d,%d} disconnected the graph", u, v)
+		}
+		if _, err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := churn.PickCrashNode(g, 0, rng)
+		if !ok {
+			t.Fatal("grid has crashable nodes")
+		}
+		if v == 0 {
+			t.Fatal("picked the root")
+		}
+		d, err := g.RemoveNode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("crash pick %d disconnected the live graph", v)
+		}
+		id, _ := g.AddNode()
+		for _, q := range d.Touched[1:] {
+			if _, err := g.AddEdge(id, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A tree has no removable edge: ok must be false, not a bogus pick.
+	tree := graph.KAryTree(7, 2)
+	if _, _, ok := churn.PickFlapEdge(tree, rand.New(rand.NewSource(2))); ok {
+		t.Fatal("flap pick on a tree should fail")
+	}
+	// Partition cut really cuts, heal really heals.
+	cut, ok := churn.PickPartitionCut(g, 0, 4, rng)
+	if !ok || len(cut) == 0 {
+		t.Fatal("no partition cut found")
+	}
+	for _, e := range cut {
+		if _, err := g.RemoveEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Connected() {
+		t.Fatal("cut did not disconnect")
+	}
+	for _, e := range cut {
+		if _, err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("heal did not reconnect")
+	}
+}

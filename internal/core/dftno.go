@@ -58,8 +58,22 @@ type DFTNO struct {
 	// L_NO = L_TC ∧ SP1 ∧ SP2 (§3.2) as a per-node position
 	// invariant (see positionOK), replacing the recorded-cycle
 	// snapshot map that previously cost O(n²) bytes.
-	refNames []int
-	maxSub   []int
+	//
+	// refParent is the DFS-tree parent vector backing the incremental
+	// maintenance of refNames under topology churn: removing an edge
+	// that is NOT a tree edge of the reference DFS cannot change the
+	// traversal (when the walk scans that port the far endpoint is
+	// already visited either way), so rebindReference skips the
+	// O(n+m) rebuild in that case. RefRebuilds counts the rebuilds
+	// that did run, so churn experiments can prove they are rare
+	// relative to steps.
+	refNames  []int
+	maxSub    []int
+	refParent []graph.NodeID
+
+	// RefRebuilds counts O(n+m) reference-naming rebuilds triggered
+	// by topology deltas (see rebindReference).
+	RefRebuilds int64
 
 	// wit is the incremental legitimacy witness (program.Witness):
 	// a violation counter over the per-node clauses of Legitimate,
@@ -70,14 +84,15 @@ type DFTNO struct {
 
 // Compile-time interface compliance.
 var (
-	_ program.Protocol    = (*DFTNO)(nil)
-	_ program.Legitimacy  = (*DFTNO)(nil)
-	_ program.Snapshotter = (*DFTNO)(nil)
-	_ program.Randomizer  = (*DFTNO)(nil)
-	_ program.SpaceMeter  = (*DFTNO)(nil)
-	_ program.ActionNamer = (*DFTNO)(nil)
-	_ program.Influencer  = (*DFTNO)(nil)
-	_ token.Events        = (*DFTNO)(nil)
+	_ program.Protocol      = (*DFTNO)(nil)
+	_ program.Legitimacy    = (*DFTNO)(nil)
+	_ program.Snapshotter   = (*DFTNO)(nil)
+	_ program.Randomizer    = (*DFTNO)(nil)
+	_ program.SpaceMeter    = (*DFTNO)(nil)
+	_ program.ActionNamer   = (*DFTNO)(nil)
+	_ program.Influencer    = (*DFTNO)(nil)
+	_ program.TopologyAware = (*DFTNO)(nil)
+	_ token.Events          = (*DFTNO)(nil)
 )
 
 // NewDFTNO layers the orientation protocol over sub. modulus is N,
@@ -109,30 +124,14 @@ func NewDFTNO(g *graph.Graph, sub TokenSubstrate, modulus int) (*DFTNO, error) {
 		pi:      make([][]int, g.N()),
 	}
 	for v := 0; v < g.N(); v++ {
-		d.pi[v] = make([]int, g.Degree(graph.NodeID(v)))
+		d.pi[v] = make([]int, g.Ports(graph.NodeID(v)))
 	}
 
 	// Reference naming: the legitimate circulation is the
 	// deterministic port-order DFS from the root (the Substrate
 	// contract), whose Nodelabel macro assigns exactly the preorder
 	// index. Subtree sizes give maxSub by the contiguity of preorder.
-	order, parent := graph.DFSPreorder(g, sub.Root())
-	d.refNames = make([]int, g.N())
-	for idx, v := range order {
-		d.refNames[v] = idx
-	}
-	size := make([]int, g.N())
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		size[v]++
-		if p := parent[v]; p != graph.None {
-			size[p] += size[v]
-		}
-	}
-	d.maxSub = make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		d.maxSub[v] = d.refNames[v] + size[v] - 1
-	}
+	d.rebuildReference()
 
 	// Stabilized orientation state for the substrate's position.
 	copy(d.eta, d.refNames)
@@ -140,6 +139,9 @@ func NewDFTNO(g *graph.Graph, sub TokenSubstrate, modulus int) (*DFTNO, error) {
 		id := graph.NodeID(v)
 		d.max[v] = d.expectedMax(id)
 		for port, q := range g.Neighbors(id) {
+			if q == graph.None {
+				continue
+			}
 			d.pi[v][port] = sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus)
 		}
 	}
@@ -170,6 +172,46 @@ func NewDFTNO(g *graph.Graph, sub TokenSubstrate, modulus int) (*DFTNO, error) {
 		return nil, fmt.Errorf("core: substrate %q reports a traversal position inconsistent with the port-order DFS circulation contract", sub.Name())
 	}
 	return d, nil
+}
+
+// rebuildReference recomputes the reference naming (refNames, maxSub,
+// refParent) from the current graph in O(n+m) and reports whether the
+// naming changed. Nodes the DFS does not reach (dead, or live but cut
+// off mid-partition) get refName −1, which no live reachable node ever
+// holds, so stale positions compare unequal.
+func (d *DFTNO) rebuildReference() bool {
+	n := d.g.N()
+	order, parent := graph.DFSPreorder(d.g, d.sub.Root())
+	names := make([]int, n)
+	for v := range names {
+		names[v] = -1
+	}
+	for idx, v := range order {
+		names[v] = idx
+	}
+	size := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		size[v]++
+		if p := parent[v]; p != graph.None {
+			size[p] += size[v]
+		}
+	}
+	maxSub := make([]int, n)
+	for v := 0; v < n; v++ {
+		maxSub[v] = names[v] + size[v] - 1
+	}
+	changed := len(names) != len(d.refNames)
+	if !changed {
+		for v := range names {
+			if names[v] != d.refNames[v] {
+				changed = true
+				break
+			}
+		}
+	}
+	d.refNames, d.maxSub, d.refParent = names, maxSub, parent
+	return changed
 }
 
 // expectedMax returns the Max value the ideal execution holds at v
@@ -251,9 +293,14 @@ func (d *DFTNO) OnBacktrack(v, child graph.NodeID) {
 	d.max[v] = d.max[child]
 }
 
-// invalidEdgeLabel is the paper's InvalidEdgelabel(p) predicate.
+// invalidEdgeLabel is the paper's InvalidEdgelabel(p) predicate. Hole
+// ports have no edge to label and are skipped; their stale π entries
+// are dead state the next labeling of a re-added edge overwrites.
 func (d *DFTNO) invalidEdgeLabel(v graph.NodeID) bool {
 	for port, q := range d.g.Neighbors(v) {
+		if q == graph.None {
+			continue
+		}
 		if d.pi[v][port] != sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus) {
 			return true
 		}
@@ -278,6 +325,9 @@ func (d *DFTNO) Execute(v graph.NodeID, a program.ActionID) bool {
 			return false
 		}
 		for port, q := range d.g.Neighbors(v) {
+			if q == graph.None {
+				continue
+			}
 			d.pi[v][port] = sod.ChordalLabel(d.eta[v], d.eta[q], d.modulus)
 		}
 		return true
@@ -336,7 +386,7 @@ func (d *DFTNO) positionOK(v graph.NodeID) bool {
 			return false
 		}
 		for _, w := range d.g.Neighbors(v) {
-			if d.sub.Behind(w, v) {
+			if w != graph.None && d.sub.Behind(w, v) {
 				return false
 			}
 		}
@@ -352,6 +402,9 @@ func (d *DFTNO) positionOK(v graph.NodeID) bool {
 	for _, w := range d.g.Neighbors(v) {
 		if w == q {
 			break
+		}
+		if w == graph.None {
+			continue
 		}
 		if !d.sub.SameRound(w, v) {
 			return false
@@ -372,19 +425,81 @@ func (d *DFTNO) Legitimate() bool {
 	}
 	// Cheap necessary condition first: the predicate runs after every
 	// step in RunUntilLegitimate loops without a witness, and the name
-	// comparison fails fast.
+	// comparison fails fast. Dead nodes are outside the predicate.
 	for v := 0; v < d.g.N(); v++ {
-		if d.eta[v] != d.refNames[v] {
+		if d.g.Alive(graph.NodeID(v)) && d.eta[v] != d.refNames[v] {
 			return false
 		}
 	}
 	for v := 0; v < d.g.N(); v++ {
 		id := graph.NodeID(v)
+		if !d.g.Alive(id) {
+			continue
+		}
 		if !d.positionOK(id) || d.invalidEdgeLabel(id) {
 			return false
 		}
 	}
 	return true
+}
+
+// TopologyChanged implements program.TopologyAware for the composed
+// stack: forward the delta to the substrate first (its hook clamps the
+// circulation state and contributes its ball), grow the per-node
+// arrays if the id space grew, rebind the port-indexed π array of
+// every touched node to its current port space, and maintain the
+// reference naming — incrementally where the delta provably cannot
+// change the port-order DFS (a removed non-tree edge), by an O(n+m)
+// rebuild otherwise, counted in RefRebuilds. A rebuild that actually
+// changed the naming invalidates the witness counters (their clauses
+// compare η and Max against refNames/maxSub at every node), which
+// lazily re-arm on the next legitimacy query. The returned ball adds
+// the touched set's closed neighbourhoods: all of DFTNO's own guards
+// read one hop, like the substrate's.
+func (d *DFTNO) TopologyChanged(dlt graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if ta, ok := d.sub.(program.TopologyAware); ok {
+		buf = ta.TopologyChanged(dlt, buf)
+	}
+	if n := d.g.N(); len(d.eta) < n {
+		for len(d.eta) < n {
+			d.eta = append(d.eta, 0)
+			d.max = append(d.max, 0)
+			d.pi = append(d.pi, nil)
+		}
+		if d.modulus < n {
+			// The agreed size bound N must cover the grown network;
+			// every SP2 label is stale under the new modulus, which the
+			// edge-labeling action rewrites during re-stabilization.
+			d.modulus = n
+		}
+		d.wit.Invalidate()
+	}
+	for _, v := range dlt.Touched {
+		for len(d.pi[v]) < d.g.Ports(v) {
+			d.pi[v] = append(d.pi[v], 0)
+		}
+	}
+	rebuild := true
+	if dlt.Kind == graph.EdgeRemoved {
+		// Removing a non-tree edge of the reference DFS keeps the
+		// traversal unchanged: parent(U)≠V and parent(V)≠U mean both
+		// endpoints were first reached around this edge, so the walk
+		// skipped its ports (far endpoint already visited) — exactly
+		// what it does for the holes they became.
+		if d.refParent[dlt.U] != dlt.V && d.refParent[dlt.V] != dlt.U {
+			rebuild = false
+		}
+	}
+	if rebuild {
+		d.RefRebuilds++
+		if d.rebuildReference() {
+			d.wit.Invalidate()
+		}
+	}
+	for _, v := range dlt.Touched {
+		buf = program.InfluenceClosedNeighborhood(d.g, v, buf)
+	}
+	return buf
 }
 
 // Snapshot implements program.Snapshotter: the substrate snapshot

@@ -72,13 +72,14 @@ type STNO struct {
 
 // Compile-time interface compliance.
 var (
-	_ program.Protocol    = (*STNO)(nil)
-	_ program.Legitimacy  = (*STNO)(nil)
-	_ program.Snapshotter = (*STNO)(nil)
-	_ program.Randomizer  = (*STNO)(nil)
-	_ program.SpaceMeter  = (*STNO)(nil)
-	_ program.ActionNamer = (*STNO)(nil)
-	_ program.Influencer  = (*STNO)(nil)
+	_ program.Protocol      = (*STNO)(nil)
+	_ program.Legitimacy    = (*STNO)(nil)
+	_ program.Snapshotter   = (*STNO)(nil)
+	_ program.Randomizer    = (*STNO)(nil)
+	_ program.SpaceMeter    = (*STNO)(nil)
+	_ program.ActionNamer   = (*STNO)(nil)
+	_ program.Influencer    = (*STNO)(nil)
+	_ program.TopologyAware = (*STNO)(nil)
 )
 
 // NewSTNO layers the orientation protocol over sub. modulus is N (0
@@ -102,7 +103,7 @@ func NewSTNO(g *graph.Graph, sub TreeSubstrate, modulus int) (*STNO, error) {
 		pi:      make([][]int, g.N()),
 	}
 	for v := 0; v < g.N(); v++ {
-		deg := g.Degree(graph.NodeID(v))
+		deg := g.Ports(graph.NodeID(v))
 		s.start[v] = make([]int, deg)
 		s.pi[v] = make([]int, deg)
 	}
@@ -190,10 +191,12 @@ func (s *STNO) wantStart(v graph.NodeID, out []int) []int {
 	out = out[:0]
 	given := s.eta[v]
 	for _, q := range s.g.Neighbors(v) {
-		if s.sub.Parent(q) == v {
+		if q != graph.None && s.sub.Parent(q) == v {
 			out = append(out, given+1)
 			given += s.weight[q]
 		} else {
+			// Non-child and hole ports alike hold zero, keeping the
+			// array port-aligned.
 			out = append(out, 0)
 		}
 	}
@@ -217,9 +220,13 @@ func (s *STNO) nameInvalid(v graph.NodeID) bool {
 	return false
 }
 
-// invalidEdgeLabel is InvalidEdgelabel(p).
+// invalidEdgeLabel is InvalidEdgelabel(p). Hole ports have no edge to
+// label and are skipped.
 func (s *STNO) invalidEdgeLabel(v graph.NodeID) bool {
 	for port, q := range s.g.Neighbors(v) {
+		if q == graph.None {
+			continue
+		}
 		if s.pi[v][port] != sod.ChordalLabel(s.eta[v], s.eta[q], s.modulus) {
 			return true
 		}
@@ -266,6 +273,9 @@ func (s *STNO) Execute(v graph.NodeID, a program.ActionID) bool {
 			return false
 		}
 		for port, q := range s.g.Neighbors(v) {
+			if q == graph.None {
+				continue
+			}
 			s.pi[v][port] = sod.ChordalLabel(s.eta[v], s.eta[q], s.modulus)
 		}
 		return true
@@ -320,11 +330,63 @@ func (s *STNO) Legitimate() bool {
 	}
 	for v := 0; v < s.g.N(); v++ {
 		id := graph.NodeID(v)
+		if !s.g.Alive(id) {
+			continue
+		}
 		if s.weight[v] != s.expectedWeight(id) || s.nameInvalid(id) || s.invalidEdgeLabel(id) {
 			return false
 		}
 	}
 	return true
+}
+
+// TopologyChanged implements program.TopologyAware for the composed
+// stack: forward to the substrate, grow node-indexed arrays if the id
+// space grew, rebind the port-indexed Start and π arrays of touched
+// nodes, and drop the memoised influence balls of every node whose
+// ball can contain the changed region. The returned ball is the radius
+// 1+ParentLocality() ball around the touched set: STNO guards read
+// their neighbours' substrate-derived Parent, which itself reads
+// ParentLocality() hops, so a topology event is visible that far out —
+// the same widening the Influence declaration applies to substrate
+// moves.
+func (s *STNO) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if ta, ok := s.sub.(program.TopologyAware); ok {
+		buf = ta.TopologyChanged(d, buf)
+	}
+	if n := s.g.N(); len(s.eta) < n {
+		for len(s.eta) < n {
+			s.eta = append(s.eta, 0)
+			s.weight = append(s.weight, 0)
+			s.start = append(s.start, nil)
+			s.pi = append(s.pi, nil)
+		}
+		if s.subBall != nil {
+			s.subBall = append(s.subBall, make([][]graph.NodeID, n-len(s.subBall))...)
+		}
+		if s.modulus < n {
+			s.modulus = n // see the DFTNO hook: the size bound must cover the grown network
+		}
+		s.wit.Invalidate()
+	}
+	for _, v := range d.Touched {
+		for len(s.start[v]) < s.g.Ports(v) {
+			s.start[v] = append(s.start[v], 0)
+		}
+		for len(s.pi[v]) < s.g.Ports(v) {
+			s.pi[v] = append(s.pi[v], 0)
+		}
+	}
+	mark := len(buf)
+	for _, v := range d.Touched {
+		buf = program.InfluenceBall(s.g, v, s.subBallRad, buf)
+	}
+	if s.subBall != nil {
+		for _, u := range buf[mark:] {
+			s.subBall[u] = nil
+		}
+	}
+	return buf
 }
 
 // Snapshot implements program.Snapshotter: the substrate snapshot (if

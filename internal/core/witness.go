@@ -22,8 +22,12 @@ var (
 	_ program.Witness = (*STNO)(nil)
 )
 
-// dftnoViolates is DFTNO's per-node clause of Legitimate().
+// dftnoViolates is DFTNO's per-node clause of Legitimate(). Dead nodes
+// (topology churn) are outside the predicate.
 func (d *DFTNO) dftnoViolates(v graph.NodeID) bool {
+	if !d.g.Alive(v) {
+		return false
+	}
 	return d.eta[v] != d.refNames[v] || !d.positionOK(v) || d.invalidEdgeLabel(v)
 }
 
@@ -60,8 +64,12 @@ func (d *DFTNO) WitnessLegitimate() bool {
 	return d.sub.Legitimate()
 }
 
-// stnoViolates is STNO's per-node clause of Legitimate().
+// stnoViolates is STNO's per-node clause of Legitimate(). Dead nodes
+// (topology churn) are outside the predicate.
 func (s *STNO) stnoViolates(v graph.NodeID) bool {
+	if !s.g.Alive(v) {
+		return false
+	}
 	return s.weight[v] != s.expectedWeight(v) || s.nameInvalid(v) || s.invalidEdgeLabel(v)
 }
 

@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"T10", "§1.3 — greedy routing over the chordal labels: reach and stretch", T10Routing},
 		{"T11", "scheduler — O(Δ) incremental guard re-evaluation vs Θ(n) full scan", T11SchedulerScaling},
 		{"T12", "scheduler — incremental legitimacy witness vs O(n) Legitimate() scan", T12WitnessLegitimacy},
+		{"T13", "dynamic topology — localized ApplyDelta invalidation and churn recovery", T13Churn},
 	}
 }
 

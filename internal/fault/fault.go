@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"netorient/internal/churn"
 	"netorient/internal/graph"
 	"netorient/internal/program"
 )
@@ -57,6 +58,123 @@ type Outcome struct {
 var (
 	ErrNoDaemonFactory = errors.New("fault: campaign needs a NewDaemon factory")
 )
+
+// Churn is the topology-fault adversary: where Campaign hits processor
+// *state*, Churn hits the *network itself*. Each trial starts from a
+// legitimate configuration, takes Burst elements down (edge flaps or a
+// node crash, chosen seeded and connectivity-preserving), optionally
+// corrupts CorruptFaults processors on top — the combined
+// state+topology fault — lets the damaged system run DownFor steps,
+// restores the elements, and measures moves/rounds until legitimacy
+// returns. Topology events flow through System.ApplyDelta (the
+// localized-invalidation path); state corruption uses the
+// System.Invalidate staleness contract, so the two escape hatches are
+// exercised composed, exactly as a real deployment would see them.
+type Churn struct {
+	// Trials is the number of damage-and-recover repetitions.
+	Trials int
+	// Burst is the number of elements taken down per trial (≥ 1).
+	Burst int
+	// Kind selects the element type (churn.EdgeFlap or
+	// churn.NodeCrash; a NodeCrash burst is capped at one node down at
+	// a time, the rest become flaps).
+	Kind churn.Kind
+	// CorruptFaults additionally corrupts this many random processors
+	// while the elements are down (0 = topology-only).
+	CorruptFaults int
+	// DownFor is how many steps the elements stay down.
+	DownFor int64
+	// MaxSteps bounds each recovery and the initial stabilization.
+	MaxSteps int64
+	// Seed drives element selection, corruption and daemons.
+	Seed int64
+	// NewDaemon builds the daemon for a trial; nil is an error.
+	NewDaemon func(trial int) program.Daemon
+}
+
+// Run executes the churn campaign on t over g (which must be t's
+// graph; the campaign mutates it and restores it every trial).
+func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
+	if c.NewDaemon == nil {
+		return Outcome{}, ErrNoDaemonFactory
+	}
+	g := t.Graph()
+	rng := rand.New(rand.NewSource(c.Seed))
+	burst := c.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	out := Outcome{Trials: c.Trials}
+	sys := program.NewSystem(t, c.NewDaemon(-1))
+	if res, err := sys.RunUntilLegitimate(c.MaxSteps); err != nil {
+		return out, err
+	} else if !res.Converged {
+		return out, fmt.Errorf("fault: protocol %q did not stabilize before churn", t.Name())
+	}
+
+	for trial := 0; trial < c.Trials; trial++ {
+		sys = program.NewSystem(t, c.NewDaemon(trial))
+		apply := func(d graph.Delta) { sys.ApplyDelta(d) }
+		var restores []func() error
+		nodeDown := false
+		for b := 0; b < burst; b++ {
+			if c.Kind == churn.NodeCrash && !nodeDown {
+				if v, ok := churn.PickCrashNode(g, root, rng); ok {
+					restore, err := churn.CrashDown(g, v, apply)
+					if err != nil {
+						return out, err
+					}
+					restores = append(restores, restore)
+					nodeDown = true
+					continue
+				}
+			}
+			u, v, ok := churn.PickFlapEdge(g, rng)
+			if !ok {
+				break // tree-like remnant: nothing else can flap
+			}
+			restore, err := churn.FlapDown(g, u, v, apply)
+			if err != nil {
+				return out, err
+			}
+			restores = append(restores, restore)
+		}
+		if c.CorruptFaults > 0 {
+			k := c.CorruptFaults
+			if k > g.N() {
+				k = g.N()
+			}
+			for _, v := range rng.Perm(g.N())[:k] {
+				if g.Alive(graph.NodeID(v)) {
+					t.CorruptNode(graph.NodeID(v), rng)
+				}
+			}
+			sys.Invalidate()
+		}
+		if _, err := sys.RunUntil(func() bool { return false }, c.DownFor); err != nil {
+			return out, err
+		}
+		for i := len(restores) - 1; i >= 0; i-- {
+			if err := restores[i](); err != nil {
+				return out, err
+			}
+		}
+		res, err := sys.RunUntilLegitimate(c.MaxSteps)
+		if err != nil {
+			return out, err
+		}
+		if !res.Converged {
+			if res2, err2 := sys.RunUntilLegitimate(4 * c.MaxSteps); err2 != nil || !res2.Converged {
+				return out, fmt.Errorf("fault: churn trial %d never recovered", trial)
+			}
+			continue
+		}
+		out.Recovered++
+		out.RecoveryMoves = append(out.RecoveryMoves, res.Moves)
+		out.RecoveryRounds = append(out.RecoveryRounds, res.Rounds)
+	}
+	return out, nil
+}
 
 // Run executes the campaign on t. The protocol is first driven to a
 // legitimate configuration; each trial then corrupts Faults distinct

@@ -2,8 +2,11 @@ package fault
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"testing"
 
+	"netorient/internal/churn"
 	"netorient/internal/core"
 	"netorient/internal/daemon"
 	"netorient/internal/graph"
@@ -11,6 +14,33 @@ import (
 	"netorient/internal/spantree"
 	"netorient/internal/token"
 )
+
+// buildTarget constructs one of the five protocol stacks on g.
+func buildTarget(name string, g *graph.Graph) (Target, error) {
+	switch name {
+	case "dftc":
+		return token.NewCirculator(g, 0)
+	case "bfstree":
+		return spantree.NewBFSTree(g, 0)
+	case "dfstree":
+		return spantree.NewDFSTree(g, 0)
+	case "dftno/dftc":
+		sub, err := token.NewCirculator(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDFTNO(g, sub, 0)
+	case "stno/bfstree":
+		sub, err := spantree.NewBFSTree(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSTNO(g, sub, 0)
+	}
+	return nil, fmt.Errorf("unknown stack %q", name)
+}
+
+var allStacks = []string{"dftc", "bfstree", "dfstree", "dftno/dftc", "stno/bfstree"}
 
 func centralFactory(trial int) program.Daemon {
 	return daemon.NewCentral(int64(trial) + 1000)
@@ -82,6 +112,138 @@ func TestSTNORecoversFromMultiNodeFaults(t *testing.T) {
 		}
 		if len(out.RecoveryMoves) != out.Recovered || len(out.RecoveryRounds) != out.Recovered {
 			t.Fatalf("k=%d: inconsistent outcome lengths", k)
+		}
+	}
+}
+
+// TestCampaignRecoversAllStacks closes the coverage gap on the
+// Campaign path: CorruptNode + System.Invalidate (inside Campaign.Run)
+// must recover on every protocol stack, and the outcome must agree
+// with the O(n) legitimacy predicate afterwards.
+func TestCampaignRecoversAllStacks(t *testing.T) {
+	t.Parallel()
+	for _, name := range allStacks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := graph.Grid(3, 4)
+			p, err := buildTarget(name, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Campaign{
+				Faults:    2,
+				Trials:    10,
+				MaxSteps:  int64(5000 * (g.N() + g.M())),
+				Seed:      3,
+				NewDaemon: centralFactory,
+			}.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Recovered != out.Trials {
+				t.Fatalf("recovered %d of %d", out.Recovered, out.Trials)
+			}
+			if !p.Legitimate() {
+				t.Fatal("campaign ended in an illegitimate configuration")
+			}
+		})
+	}
+}
+
+// TestCorruptionComposedWithApplyDelta interleaves the two staleness
+// escape hatches by hand on every stack: a topology delta repaired
+// through ApplyDelta, state corruption repaired through Invalidate,
+// in both orders, each followed by full recovery. The armed witness
+// must agree with the O(n) predicate at every recovery.
+func TestCorruptionComposedWithApplyDelta(t *testing.T) {
+	t.Parallel()
+	for _, name := range allStacks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := graph.Grid(3, 4)
+			p, err := buildTarget(name, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			sys := program.NewSystem(p, daemon.NewCentral(17))
+			budget := int64(5000 * (g.N() + g.M()))
+			recover := func(ctx string) {
+				t.Helper()
+				res, err := sys.RunUntilLegitimate(budget)
+				if err != nil || !res.Converged {
+					t.Fatalf("%s: no recovery: %+v %v", ctx, res, err)
+				}
+				if !p.Legitimate() {
+					t.Fatalf("%s: converged by witness but O(n) predicate disagrees", ctx)
+				}
+			}
+			recover("initial stabilization")
+
+			for round := 0; round < 4; round++ {
+				// Order A: topology first (ApplyDelta), corruption second
+				// (Invalidate).
+				u, v, ok := churn.PickFlapEdge(g, rng)
+				if !ok {
+					t.Fatal("no flappable edge")
+				}
+				d, err := g.RemoveEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.ApplyDelta(d)
+				p.CorruptNode(graph.NodeID(rng.Intn(g.N())), rng)
+				sys.Invalidate()
+				recover(fmt.Sprintf("round %d order A (edge {%d,%d} down)", round, u, v))
+
+				// Order B: corruption first, then the topology restore
+				// through ApplyDelta on the invalidated system.
+				p.CorruptNode(graph.NodeID(rng.Intn(g.N())), rng)
+				sys.Invalidate()
+				d2, err := g.AddEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.ApplyDelta(d2)
+				recover(fmt.Sprintf("round %d order B (edge {%d,%d} restored)", round, u, v))
+			}
+		})
+	}
+}
+
+// TestChurnAdversaryAllStacks runs the Churn campaign — including the
+// combined state+topology variant — on every stack.
+func TestChurnAdversaryAllStacks(t *testing.T) {
+	t.Parallel()
+	for _, name := range allStacks {
+		for _, corrupt := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/corrupt=%d", name, corrupt), func(t *testing.T) {
+				t.Parallel()
+				g := graph.Grid(3, 4)
+				p, err := buildTarget(name, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := Churn{
+					Trials:        6,
+					Burst:         2,
+					Kind:          churn.NodeCrash,
+					CorruptFaults: corrupt,
+					DownFor:       60,
+					MaxSteps:      int64(5000 * (g.N() + g.M())),
+					Seed:          21,
+					NewDaemon:     centralFactory,
+				}.Run(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Recovered != out.Trials {
+					t.Fatalf("recovered %d of %d churn trials", out.Recovered, out.Trials)
+				}
+				if !p.Legitimate() || !g.Connected() || g.NAlive() != g.N() {
+					t.Fatalf("campaign left damage behind: legit=%v %s alive=%d", p.Legitimate(), g, g.NAlive())
+				}
+			})
 		}
 	}
 }

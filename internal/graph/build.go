@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -213,6 +214,91 @@ func RandomConnected(n, extraEdges int, rng *rand.Rand) *Graph {
 	return b.Build()
 }
 
+// Gnp returns an Erdős–Rényi G(n,p) draw, each of the n·(n-1)/2
+// possible edges present independently with probability p. The draw is
+// rejected with a wrapped ErrNotConnected when it is disconnected —
+// churn experiments need a connected base graph, and silently patching
+// the draw would bias the degree distribution; raise p (the sharp
+// connectivity threshold is p ≈ ln(n)/n) or reseed instead.
+func Gnp(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: gnp needs n ≥ 1, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: gnp probability %g outside [0,1]", p)
+	}
+	if p == 1 {
+		return Complete(n), nil
+	}
+	b := NewBuilder(n)
+	if p > 0 {
+		// Geometric skip-sampling: instead of flipping one coin per
+		// candidate pair (Θ(n²)), draw the gap to the next present
+		// edge directly — O(n+m) total, which is what lets churn
+		// experiments use sparse draws at realistic sizes.
+		lq := math.Log(1 - p)
+		for i := 0; i < n; i++ {
+			j := i
+			for {
+				j += 1 + int(math.Log(1-rng.Float64())/lq)
+				if j >= n || j < 0 { // j<0 guards int overflow on tiny p
+					break
+				}
+				b.MustAddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	g := b.Build()
+	if !g.Connected() {
+		return nil, fmt.Errorf("graph: G(n=%d, p=%g) draw is disconnected — raise p above ln(n)/n ≈ %.4f or use another seed: %w",
+			n, p, math.Log(float64(n))/float64(n), ErrNotConnected)
+	}
+	return g, nil
+}
+
+// Barabasi returns a Barabási–Albert preferential-attachment graph:
+// nodes 0..m form a seed clique; every later node attaches to m
+// distinct existing nodes chosen proportionally to their current
+// degree. The result is connected by construction and has the
+// heavy-tailed degree distribution churn experiments want (hub loss is
+// the interesting fault). Requires n ≥ m+1 and m ≥ 1.
+func Barabasi(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("graph: barabasi needs m ≥ 1, got %d", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("graph: barabasi needs n ≥ m+1, got n=%d m=%d", n, m)
+	}
+	b := NewBuilder(n)
+	// targets holds one entry per edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling of nodes.
+	targets := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			b.MustAddEdge(NodeID(i), NodeID(j))
+			targets = append(targets, NodeID(i), NodeID(j))
+		}
+	}
+	chosen := make(map[NodeID]bool, m)
+	for v := m + 1; v < n; v++ {
+		for q := range chosen {
+			delete(chosen, q)
+		}
+		for len(chosen) < m {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		// Attach in ascending id order so equal seeds give equal
+		// graphs regardless of map iteration.
+		for q := NodeID(0); int(q) < v; q++ {
+			if chosen[q] {
+				b.MustAddEdge(NodeID(v), q)
+				targets = append(targets, NodeID(v), q)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
 // PaperTokenExample returns the 5-node rooted graph of Figure 3.1.1
 // (nodes r,a,b,c,d mapped to ids 0,4,1,3,2 in DFS-preorder so that the
 // paper's labels match the ids) — edges r–b, b–d, d–c, r–a with the
@@ -262,14 +348,46 @@ func PaperChordalExample() *Graph {
 	return b.Build()
 }
 
+// Spec-parser guard rails: Named is fed by CLI flags and fuzzers, so
+// before invoking a generator it bounds the node and edge counts the
+// spec implies. Bigger graphs are for programmatic construction, where
+// the caller owns the memory decision.
+const (
+	maxSpecNodes = 1 << 21
+	maxSpecEdges = 1 << 23
+)
+
+// checkSpecSize validates the node/edge counts a spec implies, with
+// the per-family minimum node count.
+func checkSpecSize(family string, n, m, minN int64) error {
+	if n < minN {
+		return fmt.Errorf("graph: %s needs at least %d nodes, got %d", family, minN, n)
+	}
+	if n > maxSpecNodes {
+		return fmt.Errorf("graph: %s spec asks for %d nodes, parser cap is %d", family, n, maxSpecNodes)
+	}
+	if m > maxSpecEdges {
+		return fmt.Errorf("graph: %s spec implies %d edges, parser cap is %d", family, m, maxSpecEdges)
+	}
+	return nil
+}
+
 // Named returns a generator by name, for the CLI tools. Supported:
 // ring:n path:n star:n clique:n wheel:n grid:RxC torus:RxC cube:d
 // tree:n:k caterpillar:S:L lollipop:C:T random:n:extra:seed
-// rtree:n:seed paper-token paper-tree paper-chordal.
+// rtree:n:seed circulant:n:chord gnp:n:p:seed barabasi:n:m:seed
+// paper-token paper-tree paper-chordal.
+//
+// Named rejects specs implying absurd sizes (see maxSpecNodes /
+// maxSpecEdges) and sizes below each family's minimum, so arbitrary
+// input cannot drive it into a panic or an unbounded allocation; the
+// FuzzNamed fuzz target pins this.
 func Named(spec string) (*Graph, error) {
 	var (
 		a, b2, c int
+		f        float64
 	)
+	sz := func(family string, n, m, minN int64) error { return checkSpecSize(family, n, m, minN) }
 	switch {
 	case spec == "paper-token":
 		return PaperTokenExample(), nil
@@ -278,33 +396,109 @@ func Named(spec string) (*Graph, error) {
 	case spec == "paper-chordal":
 		return PaperChordalExample(), nil
 	case scan(spec, "ring:%d", &a):
+		if err := sz("ring", int64(a), int64(a), 3); err != nil {
+			return nil, err
+		}
 		return Ring(a), nil
 	case scan(spec, "path:%d", &a):
+		if err := sz("path", int64(a), int64(a), 1); err != nil {
+			return nil, err
+		}
 		return Path(a), nil
 	case scan(spec, "star:%d", &a):
+		if err := sz("star", int64(a), int64(a), 1); err != nil {
+			return nil, err
+		}
 		return Star(a), nil
 	case scan(spec, "clique:%d", &a):
+		if err := sz("clique", int64(a), int64(a)*int64(a-1)/2, 1); err != nil {
+			return nil, err
+		}
 		return Complete(a), nil
 	case scan(spec, "wheel:%d", &a):
+		if err := sz("wheel", int64(a), 2*int64(a), 4); err != nil {
+			return nil, err
+		}
 		return Wheel(a), nil
 	case scan(spec, "grid:%dx%d", &a, &b2):
+		// Bound each dimension before multiplying: the n = rows·cols
+		// product of two unchecked ints can wrap int64 past the cap.
+		if a < 1 || b2 < 1 || a > maxSpecNodes || b2 > maxSpecNodes {
+			return nil, fmt.Errorf("graph: grid dimensions outside 1..%d, got %dx%d", maxSpecNodes, a, b2)
+		}
+		if err := sz("grid", int64(a)*int64(b2), 2*int64(a)*int64(b2), 1); err != nil {
+			return nil, err
+		}
 		return Grid(a, b2), nil
 	case scan(spec, "torus:%dx%d", &a, &b2):
+		if a < 3 || b2 < 3 || a > maxSpecNodes || b2 > maxSpecNodes {
+			return nil, fmt.Errorf("graph: torus dimensions outside 3..%d, got %dx%d", maxSpecNodes, a, b2)
+		}
+		if err := sz("torus", int64(a)*int64(b2), 2*int64(a)*int64(b2), 9); err != nil {
+			return nil, err
+		}
 		return Torus(a, b2), nil
 	case scan(spec, "cube:%d", &a):
+		if a < 0 || a > 19 {
+			return nil, fmt.Errorf("graph: cube dimension %d outside 0..19", a)
+		}
 		return Hypercube(a), nil
 	case scan(spec, "tree:%d:%d", &a, &b2):
+		if b2 < 1 {
+			return nil, fmt.Errorf("graph: tree arity must be ≥ 1, got %d", b2)
+		}
+		if err := sz("tree", int64(a), int64(a), 1); err != nil {
+			return nil, err
+		}
 		return KAryTree(a, b2), nil
 	case scan(spec, "caterpillar:%d:%d", &a, &b2):
+		if b2 < 0 || b2 > maxSpecNodes || a > maxSpecNodes {
+			return nil, fmt.Errorf("graph: caterpillar shape outside bounds, got %d:%d", a, b2)
+		}
+		n := int64(a) * int64(1+b2)
+		if err := sz("caterpillar", n, n, 1); err != nil {
+			return nil, err
+		}
 		return Caterpillar(a, b2), nil
 	case scan(spec, "lollipop:%d:%d", &a, &b2):
+		if b2 < 0 {
+			return nil, fmt.Errorf("graph: lollipop tail must be ≥ 0, got %d", b2)
+		}
+		if err := sz("lollipop", int64(a)+int64(b2), int64(a)*int64(a-1)/2+int64(b2), 1); err != nil {
+			return nil, err
+		}
 		return Lollipop(a, b2), nil
 	case scan(spec, "random:%d:%d:%d", &a, &b2, &c):
+		if b2 < 0 {
+			return nil, fmt.Errorf("graph: random extra edges must be ≥ 0, got %d", b2)
+		}
+		if err := sz("random", int64(a), int64(a)+int64(b2), 1); err != nil {
+			return nil, err
+		}
 		return RandomConnected(a, b2, rand.New(rand.NewSource(int64(c)))), nil
 	case scan(spec, "rtree:%d:%d", &a, &b2):
+		if err := sz("rtree", int64(a), int64(a), 1); err != nil {
+			return nil, err
+		}
 		return RandomTree(a, rand.New(rand.NewSource(int64(b2)))), nil
 	case scan(spec, "circulant:%d:%d", &a, &b2):
+		if err := sz("circulant", int64(a), 2*int64(a), 3); err != nil {
+			return nil, err
+		}
 		return Circulant(a, []int{1, b2})
+	case scan(spec, "gnp:%d:%g:%d", &a, &f, &c):
+		if !(f >= 0 && f <= 1) { // also rejects NaN
+			return nil, fmt.Errorf("graph: gnp probability %g outside [0,1]", f)
+		}
+		if err := sz("gnp", int64(a), int64(float64(a)*float64(a)/2*f)+int64(a), 1); err != nil {
+			return nil, err
+		}
+		return Gnp(a, f, rand.New(rand.NewSource(int64(c))))
+	case scan(spec, "barabasi:%d:%d:%d", &a, &b2, &c):
+		if err := sz("barabasi", int64(a), int64(a)*int64(b2), 1); err != nil {
+			return nil, err
+		}
+		return Barabasi(a, b2, rand.New(rand.NewSource(int64(c))))
 	}
 	return nil, fmt.Errorf("graph: unknown spec %q", spec)
 }

@@ -23,11 +23,22 @@ const None NodeID = -1
 // Graph is an undirected graph with ordered adjacency lists. The zero
 // value is an empty graph; use a Builder or a generator to create one.
 //
-// Graph is immutable after construction and safe for concurrent readers.
+// A freshly built Graph is safe for concurrent readers. Graphs can
+// also be mutated in place after construction — AddEdge, RemoveEdge,
+// AddNode, RemoveNode in delta.go — under the mutable-graph contract
+// documented there: removed edges leave None holes in the adjacency
+// lists so surviving ports keep their numbers, and removed nodes keep
+// their slot (dead) so NodeIDs stay stable. Mutation is not safe
+// concurrently with readers.
 type Graph struct {
 	adj   [][]NodeID
 	ports []map[NodeID]int
 	edges int
+
+	deg     []int  // live degree per node (holes excluded)
+	alive   []bool // nil ⇒ every node alive
+	dead    int    // number of dead nodes
+	version uint64 // monotone topology version
 }
 
 // Builder accumulates edges for a Graph.
@@ -113,6 +124,7 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{
 		adj:   make([][]NodeID, b.n),
 		ports: make([]map[NodeID]int, b.n),
+		deg:   make([]int, b.n),
 	}
 	for v := range b.adj {
 		g.adj[v] = make([]NodeID, len(b.adj[v]))
@@ -121,6 +133,7 @@ func (b *Builder) Build() *Graph {
 		for i, q := range b.adj[v] {
 			g.ports[v][q] = i
 		}
+		g.deg[v] = len(b.adj[v])
 		g.edges += len(b.adj[v])
 	}
 	g.edges /= 2
@@ -142,15 +155,17 @@ func (g *Graph) N() int { return len(g.adj) }
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.edges }
 
-// Degree returns the number of edges incident on v (Δ_v in the paper).
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+// Degree returns the number of live edges incident on v (Δ_v in the
+// paper). On a mutated graph this may be smaller than Ports(v), the
+// size of v's port space.
+func (g *Graph) Degree(v NodeID) int { return g.deg[v] }
 
-// MaxDegree returns Δ, the maximum degree over all nodes.
+// MaxDegree returns Δ, the maximum live degree over all nodes.
 func (g *Graph) MaxDegree() int {
 	d := 0
 	for v := range g.adj {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
+		if g.deg[v] > d {
+			d = g.deg[v]
 		}
 	}
 	return d
@@ -158,7 +173,8 @@ func (g *Graph) MaxDegree() int {
 
 // Neighbors returns v's adjacency list in port order. The returned slice
 // is shared with the graph and must not be modified; use NeighborsCopy
-// for a private copy.
+// for a private copy. On a mutated graph entries may be None (the holes
+// removed edges leave behind); iteration must skip them.
 func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
 
 // NeighborsCopy returns a private copy of v's adjacency list.
@@ -168,7 +184,8 @@ func (g *Graph) NeighborsCopy(v NodeID) []NodeID {
 	return out
 }
 
-// Neighbor returns the neighbour of v on the given port.
+// Neighbor returns the neighbour of v on the given port, or None when
+// the port is a hole left by a removed edge.
 func (g *Graph) Neighbor(v NodeID, port int) NodeID { return g.adj[v][port] }
 
 // PortOf returns the port number of q at v, i.e. the index of q in v's
@@ -194,7 +211,7 @@ func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
 	for u := range g.adj {
 		for _, v := range g.adj[u] {
-			if NodeID(u) < v {
+			if v != None && NodeID(u) < v {
 				out = append(out, Edge{U: NodeID(u), V: v})
 			}
 		}
@@ -208,15 +225,22 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// Connected reports whether the graph is connected (vacuously true for
-// the empty graph).
+// Connected reports whether the live subgraph is connected (vacuously
+// true when no node is alive). Dead nodes are ignored.
 func (g *Graph) Connected() bool {
-	if g.N() == 0 {
+	start := NodeID(-1)
+	for v := 0; v < g.N(); v++ {
+		if g.Alive(NodeID(v)) {
+			start = NodeID(v)
+			break
+		}
+	}
+	if start < 0 {
 		return true
 	}
-	dist, _ := BFSFrom(g, 0)
-	for _, d := range dist {
-		if d < 0 {
+	dist, _ := BFSFrom(g, start)
+	for v, d := range dist {
+		if d < 0 && g.Alive(NodeID(v)) {
 			return false
 		}
 	}
@@ -234,6 +258,12 @@ func (g *Graph) Reorder(perm [][]int) (*Graph, error) {
 		adj:   make([][]NodeID, g.N()),
 		ports: make([]map[NodeID]int, g.N()),
 		edges: g.edges,
+		deg:   make([]int, g.N()),
+		dead:  g.dead,
+	}
+	if g.alive != nil {
+		ng.alive = make([]bool, len(g.alive))
+		copy(ng.alive, g.alive)
 	}
 	for v := range g.adj {
 		if len(perm[v]) != len(g.adj[v]) {
@@ -249,7 +279,10 @@ func (g *Graph) Reorder(perm [][]int) (*Graph, error) {
 			seen[oldPort] = true
 			q := g.adj[v][oldPort]
 			ng.adj[v][newPort] = q
-			ng.ports[v][q] = newPort
+			if q != None {
+				ng.ports[v][q] = newPort
+				ng.deg[v]++
+			}
 		}
 	}
 	return ng, nil

@@ -19,7 +19,7 @@ func BFSFrom(g *Graph, root NodeID) (dist []int, parent []NodeID) {
 		v := queue[0]
 		queue = queue[1:]
 		for _, q := range g.Neighbors(v) {
-			if dist[q] < 0 {
+			if q != None && dist[q] < 0 {
 				dist[q] = dist[v] + 1
 				parent[q] = v
 				queue = append(queue, q)
@@ -52,10 +52,10 @@ func DFSPreorder(g *Graph, root NodeID) (order []NodeID, parent []NodeID) {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		adv := false
-		for cursor[v] < g.Degree(v) {
+		for cursor[v] < g.Ports(v) {
 			q := g.Neighbor(v, cursor[v])
 			cursor[v]++
-			if !visited[q] {
+			if q != None && !visited[q] {
 				visited[q] = true
 				parent[q] = v
 				order = append(order, q)
@@ -149,7 +149,7 @@ func ChildrenOf(g *Graph, parent []NodeID) [][]NodeID {
 	children := make([][]NodeID, g.N())
 	for v := 0; v < g.N(); v++ {
 		for _, q := range g.Neighbors(NodeID(v)) {
-			if parent[q] == NodeID(v) {
+			if q != None && parent[q] == NodeID(v) {
 				children[v] = append(children[v], q)
 			}
 		}

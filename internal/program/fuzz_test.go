@@ -1,0 +1,135 @@
+package program_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/token"
+)
+
+// FuzzApplyDelta feeds arbitrary op streams — daemon steps interleaved
+// with edge toggles and node crash/revive cycles — to a DFTNO stack
+// running under both schedulers, asserting the incremental runner
+// stays bit-identical to the full-scan oracle and the armed witness
+// agrees with the O(n) predicate after every delta. The stream may
+// transiently disconnect the live graph (the partition scenario);
+// only the root is immortal. Every mutation flows through ApplyDelta —
+// including ones that later reverse, since a remove/re-add pair can
+// legitimately renumber ports when older holes exist below.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 0, 2, 9, 0, 0, 1, 4})
+	f.Add([]byte{2, 4, 0, 0, 0, 2, 4, 1, 11, 1, 11})
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 1, 3, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		g := graph.Grid(3, 3)
+		baseEdges := g.Edges()
+		mkStack := func() (*core.DFTNO, error) {
+			sub, err := token.NewCirculator(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewDFTNO(g, sub, 0)
+		}
+		pInc, err := mkStack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pFull, err := mkStack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pInc.Randomize(rand.New(rand.NewSource(1)))
+		pFull.Randomize(rand.New(rand.NewSource(1)))
+		inc := program.NewSystem(pInc, daemon.NewCentral(2))
+		full := program.NewSystemFullScan(pFull, daemon.NewCentral(2))
+		if _, err := inc.RunUntilLegitimate(0); err != nil {
+			t.Fatal(err) // arms the witness
+		}
+
+		apply := func(d graph.Delta) {
+			inc.ApplyDelta(d)
+			full.ApplyDelta(d)
+		}
+
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		for i < len(data) {
+			switch next() % 3 {
+			case 0: // a few lockstep daemon steps
+				for s := 0; s < 3; s++ {
+					nInc, errInc := inc.Step()
+					nFull, errFull := full.Step()
+					if errInc != nil || errFull != nil || nInc != nFull {
+						t.Fatalf("step: inc=(%d,%v) full=(%d,%v)", nInc, errInc, nFull, errFull)
+					}
+				}
+			case 1: // toggle an edge of the base grid
+				e := baseEdges[int(next())%len(baseEdges)]
+				if !g.Alive(e.U) || !g.Alive(e.V) {
+					continue
+				}
+				if g.HasEdge(e.U, e.V) {
+					d, err := g.RemoveEdge(e.U, e.V)
+					if err != nil {
+						t.Fatal(err)
+					}
+					apply(d)
+				} else {
+					d, err := g.AddEdge(e.U, e.V)
+					if err != nil {
+						t.Fatal(err)
+					}
+					apply(d)
+				}
+			case 2: // crash a non-root node, or revive the dead one
+				if g.NAlive() < g.N() {
+					id, d := g.AddNode()
+					apply(d)
+					for _, e := range baseEdges {
+						if (e.U == id || e.V == id) && g.Alive(e.U) && g.Alive(e.V) && !g.HasEdge(e.U, e.V) {
+							d2, err := g.AddEdge(e.U, e.V)
+							if err != nil {
+								t.Fatal(err)
+							}
+							apply(d2)
+						}
+					}
+					continue
+				}
+				v := graph.NodeID(1 + int(next())%(g.N()-1)) // never the root
+				d, err := g.RemoveNode(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				apply(d)
+			}
+			if string(pInc.Snapshot()) != string(pFull.Snapshot()) {
+				t.Fatal("configurations diverge")
+			}
+			if inc.EnabledCount() != full.EnabledCount() {
+				t.Fatalf("enabled counts diverge: %d vs %d", inc.EnabledCount(), full.EnabledCount())
+			}
+			if got, want := pInc.WitnessLegitimate(), pInc.Legitimate(); got != want {
+				t.Fatalf("witness %v vs Legitimate %v", got, want)
+			}
+		}
+		if inc.Moves() != full.Moves() || inc.Rounds() != full.Rounds() {
+			t.Fatalf("counters diverge: inc (m=%d r=%d) vs full (m=%d r=%d)",
+				inc.Moves(), inc.Rounds(), full.Moves(), full.Rounds())
+		}
+	})
+}

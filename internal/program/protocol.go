@@ -68,13 +68,54 @@ type Influencer interface {
 	Influence(v graph.NodeID, a ActionID, buf []graph.NodeID) []graph.NodeID
 }
 
+// TopologyAware is the dynamic-topology half of the locality story: a
+// protocol that can keep running across in-place mutations of its
+// communication graph (graph.AddEdge / RemoveEdge / AddNode /
+// RemoveNode).
+//
+// TopologyChanged is called by System.ApplyDelta after the graph has
+// been mutated, exactly once per delta per protocol instance. It must
+//
+//  1. rebind port-indexed per-node state: arrays indexed by port must
+//     cover the (possibly grown) port space graph.Ports(v) of every
+//     touched node, and arrays indexed by node must cover graph.N();
+//  2. clamp dangling references: exploration pointers aimed at removed
+//     ports, parent pointers to ex-neighbours, and similar fields must
+//     be reset to in-bounds values. The *semantic* content of the
+//     resulting state is deliberately unconstrained — a topology event
+//     is a transient fault and stabilization is the protocols' job —
+//     but every index must be safe to dereference;
+//  3. refresh derived topology facts (reference namings, cached target
+//     vectors, memoised influence balls), invalidating any incremental
+//     legitimacy witness whose per-node clauses those facts feed when
+//     they changed (the witness lazily re-arms);
+//  4. append to buf and return the delta's influence ball: every node
+//     whose Enabled set or witness contribution may differ after the
+//     delta plus the protocol's own clamps. The same soundness rule as
+//     Influencer applies — omissions silently corrupt executions,
+//     over-reporting only costs time — and the ball must stay local
+//     (O(deg·Δ) around the touched set), because keeping topology
+//     events cheaper than a whole-system Invalidate is the point.
+//
+// Layered protocols forward the call to their substrate first and
+// merge the balls. Protocols without the interface can still run on a
+// mutated graph via System.Invalidate, at Θ(n) per event.
+type TopologyAware interface {
+	TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID
+}
+
 // InfluenceClosedNeighborhood appends the default influence set — v
 // plus its neighbours in port order — to buf. Protocols that implement
 // Influencer for documentation purposes but have standard locality can
-// delegate to it.
+// delegate to it. Holes in a mutated graph's port space are skipped.
 func InfluenceClosedNeighborhood(g *graph.Graph, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
 	buf = append(buf, v)
-	return append(buf, g.Neighbors(v)...)
+	for _, q := range g.Neighbors(v) {
+		if q != graph.None {
+			buf = append(buf, q)
+		}
+	}
+	return buf
 }
 
 // ballMarks is the reusable visited scratch of InfluenceBall: an
@@ -117,6 +158,9 @@ func InfluenceBall(g *graph.Graph, v graph.NodeID, radius int, buf []graph.NodeI
 		hi := len(buf)
 		for _, u := range buf[lo:hi] {
 			for _, q := range g.Neighbors(u) {
+				if q == graph.None {
+					continue
+				}
 				if m.stamp[q] != m.epoch {
 					m.stamp[q] = m.epoch
 					buf = append(buf, q)

@@ -102,6 +102,10 @@ type System struct {
 	// dirty-set refresh keeps it synchronised with the configuration.
 	witness Witness
 
+	// seenN is the node count the caches were sized for; ApplyDelta
+	// falls back to a full Invalidate when a delta grew the id space.
+	seenN int
+
 	// Reusable buffers.
 	fullCands []Candidate
 	selBuf    []ActionID
@@ -114,7 +118,7 @@ type System struct {
 // enabled-set scheduler.
 func NewSystem(proto Protocol, d Daemon) *System {
 	inf, _ := proto.(Influencer)
-	return &System{proto: proto, daemon: d, g: proto.Graph(), inf: inf}
+	return &System{proto: proto, daemon: d, g: proto.Graph(), inf: inf, seenN: proto.Graph().N()}
 }
 
 // NewSystemFullScan returns a System that re-evaluates every node's
@@ -175,6 +179,98 @@ func (s *System) Invalidate() {
 	}
 }
 
+// ApplyDelta incorporates one topology mutation — already applied to
+// the protocol's graph — into the running system, at O(deg·Δ) instead
+// of the Θ(n) rescan Invalidate costs. It is the mutation's second
+// half: mutate the graph, then immediately ApplyDelta the returned
+// record on every System driving a protocol over that graph, before
+// any other System method runs.
+//
+// The call first gives the protocol its TopologyChanged hook (once per
+// System — a protocol driven by several Systems must only be repaired
+// through one of them), which rebinds port-indexed state, clamps
+// dangling references, and returns the delta's influence ball. The
+// incremental scheduler then re-evaluates guards, Fenwick bits, round
+// bookkeeping and witness counters for exactly the touched set plus
+// that ball; the full-scan oracle, which has no guard cache, only
+// discharges round-pending processors the delta disabled, so both
+// schedulers remain bit-identical across interleaved topology events
+// (the differential suite locksteps this).
+//
+// A protocol without the TopologyAware hook gets the default ball —
+// the closed 1-hop neighbourhoods of the delta's Touched set — which
+// is sound only for protocols whose guards and derived facts are
+// 1-hop local and hole-tolerant; anything else should either implement
+// the hook or use Invalidate. A delta that grew the node id space
+// (AddNode past the original N) degrades to a full Invalidate: cache
+// geometry is per-node, and re-sizing it is Θ(n) anyway. Witnesses
+// stay armed across ApplyDelta; if the hook invalidated the protocol's
+// counters they lazily re-arm on the next legitimacy query.
+func (s *System) ApplyDelta(d graph.Delta) {
+	var ball []graph.NodeID
+	if ta, ok := s.proto.(TopologyAware); ok {
+		s.infBuf = ta.TopologyChanged(d, s.infBuf[:0])
+		ball = s.infBuf
+	} else {
+		s.infBuf = s.infBuf[:0]
+		for _, u := range d.Touched {
+			s.infBuf = InfluenceClosedNeighborhood(s.g, u, s.infBuf)
+		}
+		ball = s.infBuf
+	}
+	if s.g.N() != s.seenN {
+		// The id space grew: per-node cache geometry is stale in both
+		// scheduler modes. Rebuild from scratch (and restart round
+		// tracking in both, keeping them lockstep).
+		s.seenN = s.g.N()
+		s.acts = nil
+		s.Invalidate()
+		return
+	}
+	if s.fullScan {
+		// No guard cache to repair; the delta is a settle point for
+		// round tracking, mirroring the dirty-set discharge below so
+		// round accounting stays identical across schedulers.
+		for v := range s.pendingMap {
+			if !s.g.Alive(v) {
+				delete(s.pendingMap, v)
+				continue
+			}
+			s.selBuf = s.proto.Enabled(v, s.selBuf[:0])
+			if len(s.selBuf) == 0 {
+				delete(s.pendingMap, v)
+			}
+		}
+		return
+	}
+	if !s.inited {
+		// No guard cache to repair yet — the bootstrap scan will see
+		// the new topology. But a witness armed before any step
+		// (RunUntilLegitimate on an already-legitimate start) has no
+		// dirty-set refresh to ride, so refresh its contributions for
+		// the delta's ball here; otherwise its counters go stale and
+		// the next legitimacy verdict is garbage.
+		if s.witness != nil {
+			for _, u := range d.Touched {
+				s.witness.WitnessRefresh(u)
+			}
+			for _, u := range ball {
+				s.witness.WitnessRefresh(u)
+			}
+		}
+		return
+	}
+	s.epoch++
+	s.dirty = s.dirty[:0]
+	for _, u := range d.Touched {
+		s.markDirty(u)
+	}
+	for _, u := range ball {
+		s.markDirty(u)
+	}
+	s.refreshDirty()
+}
+
 // ensureInit performs the one full guard scan the incremental scheduler
 // needs to bootstrap its cache.
 func (s *System) ensureInit() {
@@ -203,7 +299,13 @@ func (s *System) ensureInit() {
 	s.count = 0
 	for v := 0; v < n; v++ {
 		id := graph.NodeID(v)
-		s.acts[v] = s.proto.Enabled(id, s.acts[v][:0])
+		if s.g.Alive(id) {
+			s.acts[v] = s.proto.Enabled(id, s.acts[v][:0])
+		} else {
+			// Dead processors execute nothing; the scheduler owns this
+			// rule so protocols keep their guards liveness-oblivious.
+			s.acts[v] = s.acts[v][:0]
+		}
 		on := len(s.acts[v]) > 0
 		s.enabled[v] = on
 		if on {
@@ -309,7 +411,9 @@ func (s *System) markInfluence(v graph.NodeID, a ActionID) {
 		return
 	}
 	for _, q := range s.g.Neighbors(v) {
-		s.markDirty(q)
+		if q != graph.None {
+			s.markDirty(q)
+		}
 	}
 }
 
@@ -395,7 +499,11 @@ func (s *System) refreshDirty() {
 	}
 	for _, v := range s.dirty {
 		was := s.enabled[v]
-		s.acts[v] = s.proto.Enabled(v, s.acts[v][:0])
+		if s.g.Alive(v) {
+			s.acts[v] = s.proto.Enabled(v, s.acts[v][:0])
+		} else {
+			s.acts[v] = s.acts[v][:0]
+		}
 		now := len(s.acts[v]) > 0
 		if now != was {
 			s.enabled[v] = now
@@ -423,6 +531,9 @@ func (s *System) refreshDirty() {
 func (s *System) enabledCandidates() []Candidate {
 	s.fullCands = s.fullCands[:0]
 	for v := 0; v < s.g.N(); v++ {
+		if !s.g.Alive(graph.NodeID(v)) {
+			continue
+		}
 		s.selBuf = s.proto.Enabled(graph.NodeID(v), s.selBuf[:0])
 		if len(s.selBuf) == 0 {
 			continue
@@ -477,6 +588,10 @@ func (s *System) beginRoundFullScan(cands []Candidate) {
 // disabled and closes the round when none remain.
 func (s *System) settleRoundFullScan() {
 	for v := range s.pendingMap {
+		if !s.g.Alive(v) {
+			delete(s.pendingMap, v)
+			continue
+		}
 		s.selBuf = s.proto.Enabled(v, s.selBuf[:0])
 		if len(s.selBuf) == 0 {
 			delete(s.pendingMap, v)

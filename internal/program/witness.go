@@ -70,9 +70,15 @@ func (w *ViolationCounter) Valid() bool { return w.valid }
 // meaningful while Valid.
 func (w *ViolationCounter) Zero() bool { return w.viol == 0 }
 
+// Invalidate marks the counter stale. The next Reset rebuilds it;
+// witnesses whose WitnessLegitimate lazily Resets when not Valid use
+// this to re-arm after a topology delta rewrote a derived fact their
+// clauses read (a reference naming, a target distance vector).
+func (w *ViolationCounter) Invalidate() { w.valid = false }
+
 // Reset rebuilds the counter from the per-node evaluator, O(n) calls.
 func (w *ViolationCounter) Reset(n int, bad func(graph.NodeID) bool) {
-	if w.node == nil {
+	if len(w.node) < n {
 		w.node = make([]bool, n)
 	}
 	w.viol = 0

@@ -36,14 +36,15 @@ const ActFix program.ActionID = 0
 
 // Compile-time interface compliance.
 var (
-	_ program.Protocol    = (*BFSTree)(nil)
-	_ program.Legitimacy  = (*BFSTree)(nil)
-	_ program.Snapshotter = (*BFSTree)(nil)
-	_ program.Randomizer  = (*BFSTree)(nil)
-	_ program.SpaceMeter  = (*BFSTree)(nil)
-	_ program.ActionNamer = (*BFSTree)(nil)
-	_ program.Influencer  = (*BFSTree)(nil)
-	_ Substrate           = (*BFSTree)(nil)
+	_ program.Protocol      = (*BFSTree)(nil)
+	_ program.Legitimacy    = (*BFSTree)(nil)
+	_ program.Snapshotter   = (*BFSTree)(nil)
+	_ program.Randomizer    = (*BFSTree)(nil)
+	_ program.SpaceMeter    = (*BFSTree)(nil)
+	_ program.ActionNamer   = (*BFSTree)(nil)
+	_ program.Influencer    = (*BFSTree)(nil)
+	_ program.TopologyAware = (*BFSTree)(nil)
+	_ Substrate             = (*BFSTree)(nil)
 )
 
 // NewBFSTree returns a BFSTree on g rooted at root, starting from the
@@ -109,7 +110,7 @@ func (t *BFSTree) desired(v graph.NodeID) (int, graph.NodeID) {
 	}
 	min := t.g.N()
 	for _, q := range t.g.Neighbors(v) {
-		if t.dist[q] < min {
+		if q != graph.None && t.dist[q] < min {
 			min = t.dist[q]
 		}
 	}
@@ -121,7 +122,7 @@ func (t *BFSTree) desired(v graph.NodeID) (int, graph.NodeID) {
 		d = t.g.N()
 	}
 	for _, q := range t.g.Neighbors(v) {
-		if t.dist[q] == min {
+		if q != graph.None && t.dist[q] == min {
 			return d, q
 		}
 	}
@@ -157,16 +158,68 @@ func (t *BFSTree) ActionName(a program.ActionID) string { return "FixDist" }
 // Stable implements Substrate.
 func (t *BFSTree) Stable() bool { return t.Legitimate() }
 
-// Legitimate implements program.Legitimacy: every node holds the true
-// BFS distance and the first minimal neighbour as parent.
+// Legitimate implements program.Legitimacy: every live node holds the
+// true BFS distance and the first minimal neighbour as parent.
 func (t *BFSTree) Legitimate() bool {
 	for v := 0; v < t.g.N(); v++ {
+		if !t.g.Alive(graph.NodeID(v)) {
+			continue
+		}
 		d, p := t.desired(graph.NodeID(v))
 		if t.dist[v] != d || t.par[v] != p || t.dist[v] != t.wantDist[v] {
 			return false
 		}
 	}
 	return true
+}
+
+// TopologyChanged implements program.TopologyAware: clamp parents that
+// stopped being neighbours and out-of-range distances at the touched
+// nodes, and recompute the reference BFS distances the legitimacy
+// predicate compares against (O(n+m) — the distances are a global
+// derived fact; the guards themselves stay 1-hop local, so the
+// returned influence ball is the touched set's closed neighbourhoods).
+// When the reference distances actually changed, the witness counters
+// built on them are invalidated and lazily re-arm.
+func (t *BFSTree) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if n := t.g.N(); len(t.dist) < n {
+		for len(t.dist) < n {
+			t.dist = append(t.dist, n)
+			t.par = append(t.par, graph.None)
+		}
+		t.wit.Invalidate()
+	}
+	for _, v := range d.Touched {
+		if t.par[v] != graph.None && !t.g.HasEdge(v, t.par[v]) {
+			t.par[v] = graph.None
+		}
+		if t.dist[v] > t.g.N() {
+			t.dist[v] = t.g.N()
+		}
+	}
+	want, _ := graph.BFSFrom(t.g, t.root)
+	for v := range want {
+		if want[v] < 0 {
+			want[v] = t.g.N() // unreachable ⇒ the "infinite" value
+		}
+	}
+	changed := len(want) != len(t.wantDist)
+	if !changed {
+		for v := range want {
+			if want[v] != t.wantDist[v] {
+				changed = true
+				break
+			}
+		}
+	}
+	t.wantDist = want
+	if changed {
+		t.wit.Invalidate()
+	}
+	for _, v := range d.Touched {
+		buf = program.InfluenceClosedNeighborhood(t.g, v, buf)
+	}
+	return buf
 }
 
 // Snapshot implements program.Snapshotter.
@@ -209,10 +262,12 @@ func (t *BFSTree) Restore(data []byte) error {
 // CorruptNode implements program.NodeCorruptor.
 func (t *BFSTree) CorruptNode(v graph.NodeID, rng *rand.Rand) {
 	t.dist[v] = rng.Intn(t.g.N() + 1)
-	if rng.Intn(2) == 0 {
+	if rng.Intn(2) == 0 || t.g.Ports(v) == 0 {
 		t.par[v] = graph.None
 	} else {
-		t.par[v] = t.g.Neighbor(v, rng.Intn(t.g.Degree(v)))
+		// Drawing over the port space keeps seeded streams identical
+		// on hole-free graphs; a draw landing on a hole yields None.
+		t.par[v] = t.g.Neighbor(v, rng.Intn(t.g.Ports(v)))
 	}
 }
 

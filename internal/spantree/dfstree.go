@@ -38,14 +38,15 @@ type DFSTree struct {
 
 // Compile-time interface compliance.
 var (
-	_ program.Protocol    = (*DFSTree)(nil)
-	_ program.Legitimacy  = (*DFSTree)(nil)
-	_ program.Snapshotter = (*DFSTree)(nil)
-	_ program.Randomizer  = (*DFSTree)(nil)
-	_ program.SpaceMeter  = (*DFSTree)(nil)
-	_ program.ActionNamer = (*DFSTree)(nil)
-	_ program.Influencer  = (*DFSTree)(nil)
-	_ Substrate           = (*DFSTree)(nil)
+	_ program.Protocol      = (*DFSTree)(nil)
+	_ program.Legitimacy    = (*DFSTree)(nil)
+	_ program.Snapshotter   = (*DFSTree)(nil)
+	_ program.Randomizer    = (*DFSTree)(nil)
+	_ program.SpaceMeter    = (*DFSTree)(nil)
+	_ program.ActionNamer   = (*DFSTree)(nil)
+	_ program.Influencer    = (*DFSTree)(nil)
+	_ program.TopologyAware = (*DFSTree)(nil)
+	_ Substrate             = (*DFSTree)(nil)
 )
 
 // NewDFSTree returns a DFSTree on g rooted at root, starting from the
@@ -77,7 +78,7 @@ func referencePaths(g *graph.Graph, root graph.NodeID) [][]int {
 	var visit func(v graph.NodeID)
 	visit = func(v graph.NodeID) {
 		for port, q := range g.Neighbors(v) {
-			if visited[q] {
+			if q == graph.None || visited[q] {
 				continue
 			}
 			visited[q] = true
@@ -130,6 +131,9 @@ func (t *DFSTree) desired(v graph.NodeID) []int {
 	}
 	var best []int
 	for _, q := range t.g.Neighbors(v) {
+		if q == graph.None {
+			continue
+		}
 		pq := t.path[q]
 		if pq == nil || len(pq)+1 > t.g.N()-1 {
 			continue
@@ -188,7 +192,7 @@ func (t *DFSTree) Parent(v graph.NodeID) graph.NodeID {
 	last := t.path[v][len(t.path[v])-1]
 	prefix := t.path[v][:len(t.path[v])-1]
 	for _, q := range t.g.Neighbors(v) {
-		if t.path[q] == nil || len(t.path[q]) != len(prefix) {
+		if q == graph.None || t.path[q] == nil || len(t.path[q]) != len(prefix) {
 			continue
 		}
 		port, _ := t.g.PortOf(q, v)
@@ -224,15 +228,53 @@ func (t *DFSTree) Path(v graph.NodeID) []int { return t.path[v] }
 // Stable implements Substrate.
 func (t *DFSTree) Stable() bool { return t.Legitimate() }
 
-// Legitimate implements program.Legitimacy: every node holds the true
-// minimal path.
+// Legitimate implements program.Legitimacy: every live node holds the
+// true minimal path.
 func (t *DFSTree) Legitimate() bool {
 	for v := 0; v < t.g.N(); v++ {
+		if !t.g.Alive(graph.NodeID(v)) {
+			continue
+		}
 		if !pathEqual(t.path[v], t.want[v]) {
 			return false
 		}
 	}
 	return true
+}
+
+// TopologyChanged implements program.TopologyAware. The per-node state
+// is a port-path compared by value, so nothing can dangle — desired()
+// recomputes against the current adjacency and hole ports are skipped
+// — and rebinding is only recomputing the reference minimal paths the
+// legitimacy predicate compares against (invalidating the witness when
+// they changed). Guards read one hop, so the influence ball is the
+// touched set's closed neighbourhoods. Note the *derived* Parent
+// function still reads ParentLocality() hops; layers over this
+// substrate widen their own balls accordingly, exactly as they do for
+// moves.
+func (t *DFSTree) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if n := t.g.N(); len(t.path) < n {
+		t.path = append(t.path, make([][]int, n-len(t.path))...)
+		t.wit.Invalidate()
+	}
+	want := referencePaths(t.g, t.root)
+	changed := len(want) != len(t.want)
+	if !changed {
+		for v := range want {
+			if !pathEqual(want[v], t.want[v]) {
+				changed = true
+				break
+			}
+		}
+	}
+	t.want = want
+	if changed {
+		t.wit.Invalidate()
+	}
+	for _, v := range d.Touched {
+		buf = program.InfluenceClosedNeighborhood(t.g, v, buf)
+	}
+	return buf
 }
 
 // Snapshot implements program.Snapshotter.
@@ -307,8 +349,12 @@ func (t *DFSTree) CorruptNode(v graph.NodeID, rng *rand.Rand) {
 	}
 	l := rng.Intn(maxLen + 1)
 	p := make([]int, l)
+	maxPort := t.g.MaxDegree()
+	if maxPort < 1 {
+		maxPort = 1
+	}
 	for i := range p {
-		p[i] = rng.Intn(t.g.MaxDegree())
+		p[i] = rng.Intn(maxPort)
 	}
 	t.path[v] = p
 }

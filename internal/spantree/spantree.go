@@ -46,7 +46,7 @@ type Substrate interface {
 // The result is appended to buf.
 func Children(g *graph.Graph, sub Substrate, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
 	for _, q := range g.Neighbors(v) {
-		if sub.Parent(q) == v {
+		if q != graph.None && sub.Parent(q) == v {
 			buf = append(buf, q)
 		}
 	}

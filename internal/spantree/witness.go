@@ -21,8 +21,12 @@ var (
 )
 
 // bfsViolates is BFSTree's Legitimate() clause at v: the action is
-// enabled, or the distance disagrees with the true BFS distance.
+// enabled, or the distance disagrees with the true BFS distance. Dead
+// nodes (topology churn) are outside the predicate.
 func (t *BFSTree) bfsViolates(v graph.NodeID) bool {
+	if !t.g.Alive(v) {
+		return false
+	}
 	d, p := t.desired(v)
 	return t.dist[v] != d || t.par[v] != p || t.dist[v] != t.wantDist[v]
 }
@@ -46,8 +50,12 @@ func (t *BFSTree) WitnessLegitimate() bool {
 }
 
 // dfsViolates is DFSTree's Legitimate() clause at v: the path differs
-// from the true minimal path. It reads only v's own variable.
+// from the true minimal path. It reads only v's own variable. Dead
+// nodes are outside the predicate.
 func (t *DFSTree) dfsViolates(v graph.NodeID) bool {
+	if !t.g.Alive(v) {
+		return false
+	}
 	return !pathEqual(t.path[v], t.want[v])
 }
 

@@ -91,14 +91,15 @@ const (
 
 // Compile-time interface compliance.
 var (
-	_ program.Protocol    = (*Circulator)(nil)
-	_ program.Legitimacy  = (*Circulator)(nil)
-	_ program.Snapshotter = (*Circulator)(nil)
-	_ program.Randomizer  = (*Circulator)(nil)
-	_ program.SpaceMeter  = (*Circulator)(nil)
-	_ program.ActionNamer = (*Circulator)(nil)
-	_ program.Influencer  = (*Circulator)(nil)
-	_ Substrate           = (*Circulator)(nil)
+	_ program.Protocol      = (*Circulator)(nil)
+	_ program.Legitimacy    = (*Circulator)(nil)
+	_ program.Snapshotter   = (*Circulator)(nil)
+	_ program.Randomizer    = (*Circulator)(nil)
+	_ program.SpaceMeter    = (*Circulator)(nil)
+	_ program.ActionNamer   = (*Circulator)(nil)
+	_ program.Influencer    = (*Circulator)(nil)
+	_ program.TopologyAware = (*Circulator)(nil)
+	_ Substrate             = (*Circulator)(nil)
 )
 
 // NewCirculator returns a Circulator on g rooted at root, initialised
@@ -162,16 +163,19 @@ func (c *Circulator) Round() uint64 { return c.seq[c.root] }
 func (c *Circulator) maxNbrSeq(v graph.NodeID) uint64 {
 	var m uint64
 	for _, q := range c.g.Neighbors(v) {
-		if c.seq[q] > m {
+		if q != graph.None && c.seq[q] > m {
 			m = c.seq[q]
 		}
 	}
 	return m
 }
 
-// ptrTarget returns the node v's pointer designates, or None.
+// ptrTarget returns the node v's pointer designates, or None. A
+// pointer aimed outside the port space or at a hole (a port whose
+// edge a topology delta removed) reads as retracted; TopologyChanged
+// clamps such pointers, and the guards below tolerate them in between.
 func (c *Circulator) ptrTarget(v graph.NodeID) graph.NodeID {
-	if c.ptr[v] < 0 {
+	if c.ptr[v] < 0 || c.ptr[v] >= c.g.Ports(v) {
 		return graph.None
 	}
 	return c.g.Neighbor(v, c.ptr[v])
@@ -185,7 +189,7 @@ func (c *Circulator) arrowSource(v graph.NodeID) graph.NodeID {
 	best := graph.None
 	var bestSeq uint64
 	for _, q := range c.g.Neighbors(v) {
-		if c.done[q] || c.seq[q] <= c.seq[v] {
+		if q == graph.None || c.done[q] || c.seq[q] <= c.seq[v] {
 			continue
 		}
 		if c.ptrTarget(q) != v {
@@ -222,6 +226,12 @@ func (c *Circulator) advanceReady(v graph.NodeID) bool {
 		return true
 	}
 	q := c.ptrTarget(v)
+	if q == graph.None {
+		// Pointer at a hole: the designated edge is gone, which can
+		// only result from a topology fault. Advancing rewrites the
+		// pointer, so treat it like a retracted one.
+		return true
+	}
 	return (c.seq[q] == c.seq[v] && c.done[q]) || c.seq[q] > c.seq[v]
 }
 
@@ -232,7 +242,7 @@ func (c *Circulator) breakReady(v graph.NodeID) bool {
 		return false
 	}
 	q := c.ptrTarget(v)
-	if c.seq[q] != c.seq[v] || c.done[q] {
+	if q == graph.None || c.seq[q] != c.seq[v] || c.done[q] {
 		return false
 	}
 	return c.lev[q] != c.levPlusOne(v)
@@ -322,7 +332,7 @@ func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 			}
 		}
 		for port, q := range c.g.Neighbors(v) {
-			if c.seq[q] < c.seq[v] {
+			if q != graph.None && c.seq[q] < c.seq[v] {
 				c.ptr[v] = port
 				return true
 			}
@@ -366,6 +376,45 @@ func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 // folds into its guards, reads the same 1-hop ball.
 func (c *Circulator) Influence(v graph.NodeID, _ program.ActionID, buf []graph.NodeID) []graph.NodeID {
 	return program.InfluenceClosedNeighborhood(c.g, v, buf)
+}
+
+// TopologyChanged implements program.TopologyAware. Per-node state has
+// no port-indexed arrays (ptr is a single port), so rebinding is pure
+// clamping: pointers into removed ports retract, parents that are no
+// longer neighbours clear, levels re-cap. The resulting configuration
+// is arbitrary-but-in-bounds, which self-stabilization absorbs. The
+// influence ball is the closed 1-hop neighbourhood of the touched set:
+// guards read one hop (the same audit as Influence), and the clamps
+// only write variables of touched nodes.
+func (c *Circulator) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if n := c.g.N(); len(c.seq) < n {
+		c.seq = append(c.seq, make([]uint64, n-len(c.seq))...)
+		for len(c.ptr) < n {
+			c.ptr = append(c.ptr, -1)
+			c.par = append(c.par, graph.None)
+			c.lev = append(c.lev, 0)
+			c.done = append(c.done, true)
+		}
+		c.chainStamp = nil
+		if c.wit != nil {
+			c.wit.valid = false // node array too small; lazily re-arm
+		}
+	}
+	for _, v := range d.Touched {
+		if c.ptr[v] >= c.g.Ports(v) || (c.ptr[v] >= 0 && c.g.Neighbor(v, c.ptr[v]) == graph.None) {
+			c.ptr[v] = -1
+		}
+		if c.par[v] != graph.None && !c.g.HasEdge(v, c.par[v]) {
+			c.par[v] = graph.None
+		}
+		if c.lev[v] > c.g.N() {
+			c.lev[v] = c.g.N()
+		}
+	}
+	for _, v := range d.Touched {
+		buf = program.InfluenceClosedNeighborhood(c.g, v, buf)
+	}
+	return buf
 }
 
 // Finished implements Substrate: done_v.
@@ -422,6 +471,9 @@ func (c *Circulator) Legitimate() bool {
 	rnd := c.seq[r]
 	if c.done[r] {
 		for v := 0; v < c.g.N(); v++ {
+			if !c.g.Alive(graph.NodeID(v)) {
+				continue
+			}
 			if c.seq[v] != rnd || !c.done[v] || c.ptr[v] != -1 {
 				return false
 			}
@@ -472,7 +524,7 @@ func (c *Circulator) Legitimate() bool {
 // unvisited nodes are exactly one round behind and finished.
 func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64) bool {
 	for v := 0; v < c.g.N(); v++ {
-		if onChain[v] == c.chainEpoch {
+		if onChain[v] == c.chainEpoch || !c.g.Alive(graph.NodeID(v)) {
 			continue
 		}
 		id := graph.NodeID(v)
@@ -547,7 +599,8 @@ func (c *Circulator) Restore(data []byte) error {
 		off += 4
 		c.done[v] = data[off] == 1
 		off++
-		if c.ptr[v] < -1 || c.ptr[v] >= c.g.Degree(graph.NodeID(v)) {
+		if c.ptr[v] < -1 || c.ptr[v] >= c.g.Ports(graph.NodeID(v)) ||
+			(c.ptr[v] >= 0 && c.g.Neighbor(graph.NodeID(v), c.ptr[v]) == graph.None) {
 			c.ptr[v] = -1
 		}
 		if c.lev[v] < 0 {
@@ -568,13 +621,19 @@ func (c *Circulator) Restore(data []byte) error {
 func (c *Circulator) CorruptNode(v graph.NodeID, rng *rand.Rand) {
 	n := c.g.N()
 	c.seq[v] = uint64(rng.Intn(2*n + 1))
-	c.ptr[v] = rng.Intn(c.g.Degree(v)+1) - 1
+	// Port-index draws range over the port space (identical to the
+	// pre-churn degree on hole-free graphs, keeping seeded streams
+	// stable); draws landing on a hole clamp without extra draws.
+	c.ptr[v] = rng.Intn(c.g.Ports(v)+1) - 1
+	if c.ptr[v] >= 0 && c.g.Neighbor(v, c.ptr[v]) == graph.None {
+		c.ptr[v] = -1
+	}
 	c.lev[v] = rng.Intn(n + 1)
 	c.done[v] = rng.Intn(2) == 0
-	if rng.Intn(2) == 0 || c.g.Degree(v) == 0 {
+	if rng.Intn(2) == 0 || c.g.Ports(v) == 0 {
 		c.par[v] = graph.None
 	} else {
-		c.par[v] = c.g.Neighbor(v, rng.Intn(c.g.Degree(v)))
+		c.par[v] = c.g.Neighbor(v, rng.Intn(c.g.Ports(v)))
 	}
 }
 

@@ -58,10 +58,14 @@ type witCounters struct {
 	cnt, a, b, d, e int
 }
 
-// witContrib is one node's cached contribution to its bucket.
+// witContrib is one node's cached contribution to its bucket. A dead
+// node (topology churn) contributes nothing: its frozen variables are
+// outside every legitimacy clause, and the between-rounds population
+// count compares against NAlive, not N.
 type witContrib struct {
 	seq        uint64
 	a, b, d, e bool
+	dead       bool
 }
 
 // Compile-time interface compliance.
@@ -109,6 +113,9 @@ func (c *Circulator) headPtrOK(v graph.NodeID) bool {
 
 // witContribOf derives node v's contribution from its neighbourhood.
 func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
+	if !c.g.Alive(v) {
+		return witContrib{dead: true}
+	}
 	w := witContrib{seq: c.seq[v]}
 	w.a = !c.done[v] || c.ptr[v] != -1
 	if v != c.root {
@@ -126,6 +133,9 @@ func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
 
 // witApply adds (dir=+1) or retracts (dir=−1) a contribution.
 func (c *Circulator) witApply(w witContrib, dir int) {
+	if w.dead {
+		return
+	}
 	k := c.wit.tab[w.seq]
 	k.cnt += dir
 	if w.a {
@@ -150,7 +160,10 @@ func (c *Circulator) witApply(w witContrib, dir int) {
 // WitnessReset implements program.Witness.
 func (c *Circulator) WitnessReset() {
 	if c.wit == nil {
-		c.wit = &circWitness{node: make([]witContrib, c.g.N())}
+		c.wit = &circWitness{}
+	}
+	if len(c.wit.node) < c.g.N() {
+		c.wit.node = make([]witContrib, c.g.N())
 	}
 	if c.wit.tab == nil || len(c.wit.tab) > 0 {
 		c.wit.tab = make(map[uint64]witCounters, 4)
@@ -186,10 +199,10 @@ func (c *Circulator) WitnessLegitimate() bool {
 	rnd := c.seq[c.root]
 	k := c.wit.tab[rnd]
 	if c.done[c.root] {
-		return k.cnt == c.g.N() && k.a == 0
+		return k.cnt == c.g.NAlive() && k.a == 0
 	}
 	kp := c.wit.tab[rnd-1]
 	return c.lev[c.root] == 0 &&
-		k.cnt+kp.cnt == c.g.N() &&
+		k.cnt+kp.cnt == c.g.NAlive() &&
 		kp.a == 0 && k.b == 0 && k.d == 0 && k.e == 0
 }
