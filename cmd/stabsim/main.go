@@ -9,6 +9,14 @@
 //	stabsim -graph ring:12 -proto stno -faults 3 -trials 30
 //	stabsim -graph clique:6 -proto token -daemon distributed
 //	stabsim -graph grid:8x8 -proto dftno -churn 10 -churn-kind mixed
+//	stabsim -graph lollipop:8:6 -proto token -churn 8 -churn-kind partition -allow-disconnect
+//
+// With -allow-disconnect churn events may split the graph: legitimacy
+// is then judged per component (the root's component by the classic
+// predicate, orphan components by quiescence), the down phase measures
+// per-component convergence while split, and heals merge components
+// back. Without it every event preserves connectivity, as in the
+// paper's model.
 //
 // stabsim exits non-zero whenever a campaign exhausts its step budget
 // without reaching legitimacy — a partially recovered fault or churn
@@ -96,9 +104,10 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		budgetFlag = fs.Int64("budget", 0, "step budget per recovery (0 = 50000·(n+m))")
 		churnN     = fs.Int("churn", 0, "if >0, run a churn campaign with this many topology events")
-		churnKind  = fs.String("churn-kind", "mixed", "churn events: flap|crash|partition|mixed")
+		churnKind  = fs.String("churn-kind", "mixed", "churn events: flap|crash|partition|bridge|island|mixed")
 		churnPer   = fs.Int64("churn-period", 2000, "steps between churn events (recovery window)")
 		churnDown  = fs.Int64("churn-down", 200, "steps a removed element stays down")
+		allowDis   = fs.Bool("allow-disconnect", false, "lift connectivity preservation: events may split the graph; legitimacy is per component")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,20 +139,31 @@ func run(args []string) error {
 			mix = []churn.Kind{churn.NodeCrash}
 		case "partition":
 			mix = []churn.Kind{churn.Partition}
+		case "bridge":
+			mix = []churn.Kind{churn.BridgeCut}
+		case "island":
+			mix = []churn.Kind{churn.IslandCrash}
 		case "mixed":
 			mix = []churn.Kind{churn.EdgeFlap, churn.NodeCrash, churn.Partition}
+			if *allowDis {
+				mix = append(mix, churn.BridgeCut, churn.IslandCrash)
+			}
 		default:
-			return fmt.Errorf("unknown churn kind %q (flap|crash|partition|mixed)", *churnKind)
+			return fmt.Errorf("unknown churn kind %q (flap|crash|partition|bridge|island|mixed)", *churnKind)
+		}
+		if (*churnKind == "bridge" || *churnKind == "island") && !*allowDis {
+			return fmt.Errorf("churn kind %q splits the graph; it needs -allow-disconnect", *churnKind)
 		}
 		sys := program.NewSystem(p, mkDaemon(0))
 		run := &churn.Runner{G: g, Sys: sys, Root: 0}
 		st, err := run.Run(churn.Config{
-			Seed:     *seed,
-			Events:   *churnN,
-			Period:   *churnPer,
-			DownFor:  *churnDown,
-			Mix:      mix,
-			MaxSteps: budget,
+			Seed:            *seed,
+			Events:          *churnN,
+			Period:          *churnPer,
+			DownFor:         *churnDown,
+			Mix:             mix,
+			MaxSteps:        budget,
+			AllowDisconnect: *allowDis,
 		})
 		if err != nil {
 			return err
@@ -151,17 +171,36 @@ func run(args []string) error {
 		ss := trace.SummarizeInts(st.RecoverySteps)
 		ms := trace.SummarizeInts(st.RecoveryMoves)
 		rs := trace.SummarizeInts(st.RecoveryRounds)
-		tb := trace.NewTable(
-			fmt.Sprintf("churn recovery: %s on %s, %d %s events, period=%d, daemon=%s",
-				*proto, g, st.Events, *churnKind, *churnPer, *dmn),
-			"recovered in period", "deltas", "median steps", "median moves", "median rounds", "max rounds",
-			"final recovery")
 		final := fmt.Sprintf("converged (moves=%d rounds=%d)", st.Final.Moves, st.Final.Rounds)
 		if !st.Final.Converged {
 			final = "NOT CONVERGED"
 		}
-		tb.AddRow(fmt.Sprintf("%d/%d", st.RecoveredInPeriod, st.Events), st.Deltas,
-			ss.Median, ms.Median, rs.Median, rs.Max, final)
+		title := fmt.Sprintf("churn recovery: %s on %s, %d %s events, period=%d, daemon=%s",
+			*proto, g, st.Events, *churnKind, *churnPer, *dmn)
+		var tb *trace.Table
+		if *allowDis {
+			// Split telemetry: how often the schedule actually
+			// disconnected the graph, and whether the split system
+			// reached per-component legitimacy within the down phase.
+			splits := 0
+			for _, c := range st.SplitComponents {
+				if c >= 2 {
+					splits++
+				}
+			}
+			sp := trace.SummarizeInts(st.SplitSteps)
+			tb = trace.NewTable(title,
+				"recovered in period", "skipped", "deltas", "splits",
+				"split converged", "median split steps", "median steps", "final recovery")
+			tb.AddRow(fmt.Sprintf("%d/%d", st.RecoveredInPeriod, st.Events), st.SkippedEvents,
+				st.Deltas, splits, st.SplitConverged, sp.Median, ss.Median, final)
+		} else {
+			tb = trace.NewTable(title,
+				"recovered in period", "deltas", "median steps", "median moves", "median rounds", "max rounds",
+				"final recovery")
+			tb.AddRow(fmt.Sprintf("%d/%d", st.RecoveredInPeriod, st.Events), st.Deltas,
+				ss.Median, ms.Median, rs.Median, rs.Max, final)
+		}
 		if err := tb.Render(os.Stdout); err != nil {
 			return err
 		}

@@ -95,12 +95,41 @@
 //     on a 64×64 grid re-evaluates 10 guards, not 8192, and
 //     re-stabilizes with zero O(n) legitimacy scans). Both schedulers
 //     stay bit-identical across interleaved topology deltas.
+//   - Component tracking: mutations may disconnect the graph — there
+//     is no connectivity restriction anywhere in the contract. The
+//     graph maintains connected-component labels incrementally across
+//     deltas (graph.ComponentOf / Components / ComponentSize /
+//     SameComponent; merges relabel the smaller side, removals run a
+//     bounded bidirectional split search), reports split/merge events
+//     in the Delta (Components, CompChanged), and bumps CompVersion()
+//     only when labels actually change, so consumers cache
+//     component-derived facts cheaply.
+//
+// Legitimacy on a disconnected graph is decided per component: the
+// root's component must satisfy the classic predicate restricted to
+// it (the circulator's round counted against ComponentSize, the trees'
+// distances/paths within the component), while every component that
+// lost the root — the detected orphan state — must be silent, i.e.
+// quiescent in the fixpoint its protocol degrades to (BFS distances
+// pinned at n, DFS paths ⊥, DFTNO reference names −1). Witnesses
+// implement this by bucketing violation counters per component and
+// counting loud orphan nodes, re-arming when CompVersion or the
+// root's liveness changes, so L_P stays an O(1) decision while the
+// network splits and heals. internal/apps.ElectComponentRoots floods
+// max-id election per component (churn.ComponentReport wraps it) to
+// identify stand-in leaders for detected orphan components.
 //
 // Package churn turns this into scenarios — seeded edge-flap, node
 // crash/join and partition/heal schedules with per-event recovery
-// measurement — and fault.Churn composes topology faults with state
-// corruption into campaigns; cmd/stabsim exposes both
-// (-faults, -churn).
+// measurement, plus non-connectivity-preserving bridge-cut and
+// island-crash schedules whose down phases measure per-component
+// convergence while split — and fault.Churn composes topology faults
+// with state corruption (including corruption aimed at orphan
+// components, in either Invalidate/ApplyDelta order) into campaigns;
+// cmd/stabsim exposes all of it (-faults, -churn, -allow-disconnect).
+// Experiment T14 records the heal-time merge cost: re-connecting a
+// k-way split re-evaluates the boundary balls plus the renamed orphan
+// regions, not Θ(n) per heal.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;

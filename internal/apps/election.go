@@ -204,6 +204,84 @@ func ElectHirschbergSinclair(g *graph.Graph, ids []int) (leader graph.NodeID, me
 	}
 }
 
+// ElectComponentRoots runs a flooding max-id election independently in
+// every connected component of the live subgraph: each node starts by
+// announcing its own id, re-announces to all neighbours whenever its
+// best-known id improves, and the owner of a component's maximum id
+// becomes that component's root. This is the degradation path for
+// partition tolerance — a component that lost the protocol root can
+// locally agree on a stand-in without any global knowledge, at
+// O(m·diam) messages per component (counted synchronously).
+//
+// ids maps node → id; nil means "use the NodeID" (distinct by
+// construction). Live nodes must carry distinct ids. Returns the
+// elected root per component label (graph.ComponentOf keys) and the
+// total message count across all components.
+func ElectComponentRoots(g *graph.Graph, ids []int) (map[int]graph.NodeID, int, error) {
+	n := g.N()
+	if ids == nil {
+		ids = make([]int, n)
+		for v := range ids {
+			ids[v] = v
+		}
+	}
+	if len(ids) != n {
+		return nil, 0, fmt.Errorf("apps: %d ids for %d nodes", len(ids), n)
+	}
+	seen := make(map[int]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		if !g.Alive(graph.NodeID(v)) {
+			continue
+		}
+		if u, dup := seen[ids[v]]; dup {
+			return nil, 0, fmt.Errorf("%w: %d held by nodes %d and %d", ErrDuplicateIDs, ids[v], u, v)
+		}
+		seen[ids[v]] = graph.NodeID(v)
+	}
+	// Synchronous flooding: best[v] is the largest id v has heard of;
+	// a node whose best improved last round announces to every
+	// neighbour this round.
+	best := make([]int, n)
+	announce := make([]bool, n)
+	for v := 0; v < n; v++ {
+		best[v] = ids[v]
+		announce[v] = g.Alive(graph.NodeID(v))
+	}
+	messages := 0
+	for {
+		next := make([]bool, n)
+		improved := false
+		for v := 0; v < n; v++ {
+			if !announce[v] {
+				continue
+			}
+			for _, q := range g.Neighbors(graph.NodeID(v)) {
+				if q == graph.None {
+					continue
+				}
+				messages++
+				if best[v] > best[q] {
+					best[q] = best[v]
+					next[q] = true
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+		announce = next
+	}
+	roots := make(map[int]graph.NodeID)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if g.Alive(id) && best[v] == ids[v] {
+			roots[g.ComponentOf(id)] = id
+		}
+	}
+	return roots, messages, nil
+}
+
 // ElectWithOrientation elects on a network that already carries a
 // valid chordal orientation: the node named 0 is the leader by common
 // knowledge — zero election messages — and announcing it costs one

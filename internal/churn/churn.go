@@ -43,6 +43,15 @@ const (
 	// of the network, healing the cut DownFor steps later. The down
 	// phase intentionally disconnects the live graph.
 	Partition
+	// BridgeCut removes one bridge — an edge whose removal splits the
+	// live graph — and restores it DownFor steps later. Requires
+	// Config.AllowDisconnect.
+	BridgeCut
+	// IslandCrash removes one cut vertex — a non-root node whose
+	// removal splits the live graph into islands — and revives it, with
+	// its old edges, DownFor steps later. Requires
+	// Config.AllowDisconnect.
+	IslandCrash
 )
 
 // String renders the kind.
@@ -54,6 +63,10 @@ func (k Kind) String() string {
 		return "node-crash"
 	case Partition:
 		return "partition"
+	case BridgeCut:
+		return "bridge-cut"
+	case IslandCrash:
+		return "island-crash"
 	}
 	return "?"
 }
@@ -76,6 +89,14 @@ type Config struct {
 	PartitionSize int
 	// MaxSteps bounds the final full recovery (default 50000·(n+m)).
 	MaxSteps int64
+	// AllowDisconnect lifts the connectivity-preservation restriction:
+	// EdgeFlap and NodeCrash pick candidates without a connectivity
+	// check, BridgeCut and IslandCrash become available, and the down
+	// phase of every event is measured with RunUntilLegitimate — the
+	// protocols' legitimacy is decided per component, so a split system
+	// can (and must) converge while split, which SplitConverged and
+	// SplitSteps record.
+	AllowDisconnect bool
 }
 
 // Stats aggregates a run.
@@ -92,6 +113,20 @@ type Stats struct {
 	RecoverySteps  []int64
 	RecoveryMoves  []int64
 	RecoveryRounds []int64
+	// SkippedEvents counts events abandoned because the seeded picker
+	// found no candidate (e.g. EdgeFlap on a tree, BridgeCut on a
+	// 2-edge-connected graph). Skipped events do not abort the run and
+	// are excluded from Events.
+	SkippedEvents int
+	// SplitComponents holds, per AllowDisconnect event, the number of
+	// live components during the down phase.
+	SplitComponents []int
+	// SplitConverged counts AllowDisconnect events whose down phase
+	// reached per-component legitimacy within DownFor steps;
+	// SplitSteps holds one entry per such event, measured from the
+	// take-down.
+	SplitConverged int
+	SplitSteps     []int64
 	// Final reports the run-off recovery after the last event.
 	Final program.RunResult
 }
@@ -143,10 +178,33 @@ func (r *Runner) Run(cfg Config) (Stats, error) {
 	for e := 0; e < cfg.Events; e++ {
 		kind := mix[e%len(mix)]
 		restore, err := r.takeDown(kind, rng, cfg, &st)
+		if errors.Is(err, ErrNoCandidate) {
+			// The seeded picker came up empty (no bridge, no spare
+			// edge, ...). That is a property of the current topology,
+			// not a failure of the run: record it and move on.
+			st.SkippedEvents++
+			continue
+		}
 		if err != nil {
 			return st, fmt.Errorf("churn: event %d (%s): %w", e, kind, err)
 		}
-		if err := r.idle(cfg.DownFor); err != nil {
+		if cfg.AllowDisconnect {
+			// Per-component legitimacy means a split system must
+			// converge while split: measure the down phase instead of
+			// idling through it.
+			st.SplitComponents = append(st.SplitComponents, r.G.Components())
+			res, err := r.Sys.RunUntilLegitimate(cfg.DownFor)
+			if err != nil {
+				return st, err
+			}
+			if res.Converged {
+				st.SplitConverged++
+				st.SplitSteps = append(st.SplitSteps, res.Steps)
+				if err := r.idle(cfg.DownFor - res.Steps); err != nil {
+					return st, err
+				}
+			}
+		} else if err := r.idle(cfg.DownFor); err != nil {
 			return st, err
 		}
 		if err := restore(); err != nil {
@@ -181,14 +239,42 @@ func (r *Runner) takeDown(kind Kind, rng *rand.Rand, cfg Config, st *Stats) (fun
 	apply := func(d graph.Delta) { r.apply(d, st) }
 	switch kind {
 	case EdgeFlap:
-		u, v, ok := PickFlapEdge(r.G, rng)
+		pick := PickFlapEdge
+		if cfg.AllowDisconnect {
+			pick = PickAnyEdge
+		}
+		u, v, ok := pick(r.G, rng)
 		if !ok {
 			return nil, ErrNoCandidate
 		}
 		return FlapDown(r.G, u, v, apply)
 
 	case NodeCrash:
-		v, ok := PickCrashNode(r.G, r.Root, rng)
+		pick := PickCrashNode
+		if cfg.AllowDisconnect {
+			pick = PickAnyNode
+		}
+		v, ok := pick(r.G, r.Root, rng)
+		if !ok {
+			return nil, ErrNoCandidate
+		}
+		return CrashDown(r.G, v, apply)
+
+	case BridgeCut:
+		if !cfg.AllowDisconnect {
+			return nil, fmt.Errorf("churn: %s requires AllowDisconnect", kind)
+		}
+		u, v, ok := PickBridgeEdge(r.G, rng)
+		if !ok {
+			return nil, ErrNoCandidate
+		}
+		return FlapDown(r.G, u, v, apply)
+
+	case IslandCrash:
+		if !cfg.AllowDisconnect {
+			return nil, fmt.Errorf("churn: %s requires AllowDisconnect", kind)
+		}
+		v, ok := PickCutVertex(r.G, r.Root, rng)
 		if !ok {
 			return nil, ErrNoCandidate
 		}
@@ -311,6 +397,91 @@ func PickCrashNode(g *graph.Graph, root graph.NodeID, rng *rand.Rand) (graph.Nod
 			continue
 		}
 		if connectedWithoutNode(g, root, v) {
+			return v, true
+		}
+	}
+	return graph.None, false
+}
+
+// PickAnyEdge returns a uniformly random live edge with no
+// connectivity check — removals may split the graph.
+func PickAnyEdge(g *graph.Graph, rng *rand.Rand) (u, v graph.NodeID, ok bool) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return graph.None, graph.None, false
+	}
+	e := edges[rng.Intn(len(edges))]
+	return e.U, e.V, true
+}
+
+// PickAnyNode returns a uniformly random live non-root node with no
+// connectivity check — crashes may island regions.
+func PickAnyNode(g *graph.Graph, root graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	n := g.N()
+	for attempts := 0; attempts < 4*n+16; attempts++ {
+		v := graph.NodeID(rng.Intn(n))
+		if v != root && g.Alive(v) {
+			return v, true
+		}
+	}
+	return graph.None, false
+}
+
+// PickBridgeEdge returns a uniformly random bridge — a live edge whose
+// removal splits its component — by rejection sampling; ok is false
+// when the graph has none (2-edge-connected components only).
+func PickBridgeEdge(g *graph.Graph, rng *rand.Rand) (u, v graph.NodeID, ok bool) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return graph.None, graph.None, false
+	}
+	perm := rng.Perm(len(edges))
+	for _, i := range perm {
+		e := edges[i]
+		if bridgeEdge(g, e.U, e.V) {
+			return e.U, e.V, true
+		}
+	}
+	return graph.None, graph.None, false
+}
+
+// bridgeEdge reports whether removing {u,v} splits their component —
+// a component-local test, sound on already-disconnected graphs.
+func bridgeEdge(g *graph.Graph, u, v graph.NodeID) bool {
+	reached := sweep(g, u, func(a, b graph.NodeID) bool {
+		return (a == u && b == v) || (a == v && b == u)
+	})
+	return reached < g.ComponentSize(g.ComponentOf(u))
+}
+
+// cutVertex reports whether removing v splits its component.
+func cutVertex(g *graph.Graph, v graph.NodeID) bool {
+	var start graph.NodeID = graph.None
+	for _, q := range g.Neighbors(v) {
+		if q != graph.None {
+			start = q
+			break
+		}
+	}
+	if start == graph.None {
+		return false
+	}
+	reached := sweep(g, start, func(a, b graph.NodeID) bool { return b == v })
+	return reached < g.ComponentSize(g.ComponentOf(v))-1
+}
+
+// PickCutVertex returns a uniformly random live non-root cut vertex —
+// a node whose removal splits its component into islands; ok is false
+// when no non-root node is one.
+func PickCutVertex(g *graph.Graph, root graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	n := g.N()
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		v := graph.NodeID(i)
+		if v == root || !g.Alive(v) || g.Degree(v) < 2 {
+			continue
+		}
+		if cutVertex(g, v) {
 			return v, true
 		}
 	}

@@ -92,6 +92,173 @@ func TestEngineRecoversAllStacks(t *testing.T) {
 	}
 }
 
+// TestEngineAllowDisconnectAllStacks runs a non-connectivity-
+// preserving schedule — bridge cuts, island crashes, partitions and
+// unrestricted flaps/crashes — over every stack on a lollipop (whose
+// tail is all bridges and cut vertices, so orphan components actually
+// happen) and requires per-component convergence while split plus full
+// recovery after the heals.
+func TestEngineAllowDisconnectAllStacks(t *testing.T) {
+	t.Parallel()
+	stacks := []string{"dftc", "bfstree", "dfstree", "dftno", "stno"}
+	for _, name := range stacks {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := graph.Lollipop(6, 5)
+			n := g.N()
+			p, err := buildStack(name, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, ok := p.(program.Randomizer); ok {
+				r.Randomize(rand.New(rand.NewSource(11)))
+			}
+			sys := program.NewSystem(p, daemon.NewCentral(4))
+			run := &churn.Runner{G: g, Sys: sys, Root: 0}
+			st, err := run.Run(churn.Config{
+				Seed:            7,
+				Events:          10,
+				Period:          6000,
+				DownFor:         4000,
+				AllowDisconnect: true,
+				Mix: []churn.Kind{
+					churn.BridgeCut, churn.Partition, churn.IslandCrash,
+					churn.EdgeFlap, churn.NodeCrash,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Events+st.SkippedEvents != 10 {
+				t.Fatalf("events %d + skipped %d != 10", st.Events, st.SkippedEvents)
+			}
+			split := 0
+			for _, c := range st.SplitComponents {
+				if c >= 2 {
+					split++
+				}
+			}
+			if split == 0 {
+				t.Fatalf("schedule never disconnected the graph: components %v", st.SplitComponents)
+			}
+			if st.SplitConverged == 0 {
+				t.Fatal("no down phase reached per-component legitimacy")
+			}
+			if !st.Final.Converged {
+				t.Fatalf("no final recovery: %+v", st.Final)
+			}
+			if !p.Legitimate() {
+				t.Fatal("final configuration not legitimate by the O(n) predicate")
+			}
+			if !g.Connected() || g.NAlive() != n {
+				t.Fatalf("engine left the graph damaged: %s, alive %d", g, g.NAlive())
+			}
+		})
+	}
+}
+
+// TestSkippedEventsDoNotAbort pins the ErrNoCandidate handling: a
+// flap-only schedule on a tree (no removable edge) records every event
+// as skipped instead of aborting the campaign.
+func TestSkippedEventsDoNotAbort(t *testing.T) {
+	t.Parallel()
+	g := graph.KAryTree(7, 2)
+	p, err := buildStack("bfstree", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := program.NewSystem(p, daemon.NewCentral(3))
+	run := &churn.Runner{G: g, Sys: sys, Root: 0}
+	st, err := run.Run(churn.Config{Seed: 2, Events: 4, Period: 500, DownFor: 50})
+	if err != nil {
+		t.Fatalf("campaign aborted on a candidate-free topology: %v", err)
+	}
+	if st.SkippedEvents != 4 || st.Events != 0 {
+		t.Fatalf("skipped %d / ran %d, want 4 / 0", st.SkippedEvents, st.Events)
+	}
+	if !st.Final.Converged {
+		t.Fatal("no final recovery")
+	}
+}
+
+// TestDisconnectingPickers checks the new seeded helpers: bridges and
+// cut vertices are found where they exist and refused where they
+// cannot.
+func TestDisconnectingPickers(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Lollipop(5, 4)
+	u, v, ok := churn.PickBridgeEdge(g, rng)
+	if !ok {
+		t.Fatal("lollipop tail is all bridges")
+	}
+	if _, err := g.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatalf("bridge pick {%d,%d} did not disconnect", u, v)
+	}
+	if _, err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := churn.PickCutVertex(g, 0, rng)
+	if !ok {
+		t.Fatal("lollipop tail has cut vertices")
+	}
+	if _, err := g.RemoveNode(cv); err != nil {
+		t.Fatal(err)
+	}
+	if g.Components() < 2 {
+		t.Fatalf("cut-vertex pick %d did not island anything", cv)
+	}
+	// 2-edge-connected graphs have neither.
+	ring := graph.Ring(8)
+	if _, _, ok := churn.PickBridgeEdge(ring, rng); ok {
+		t.Fatal("ring has no bridge")
+	}
+	if _, ok := churn.PickCutVertex(ring, 0, rng); ok {
+		t.Fatal("ring has no cut vertex")
+	}
+}
+
+// TestComponentReport pins the per-component degradation report: after
+// a bridge cut, the orphan component is detected and a stand-in leader
+// (max NodeID) is elected for it.
+func TestComponentReport(t *testing.T) {
+	t.Parallel()
+	g := graph.Lollipop(4, 3) // clique 0-3, tail 4-5-6
+	if _, err := g.RemoveEdge(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := churn.ComponentReport(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 2 {
+		t.Fatalf("report has %d components, want 2", len(rep))
+	}
+	var withRoot, orphan *churn.ComponentStatus
+	for i := range rep {
+		if rep[i].HasRoot {
+			withRoot = &rep[i]
+		} else {
+			orphan = &rep[i]
+		}
+	}
+	if withRoot == nil || orphan == nil {
+		t.Fatalf("report misclassifies root: %+v", rep)
+	}
+	if withRoot.Size != 5 || orphan.Size != 2 {
+		t.Fatalf("sizes %d/%d, want 5/2", withRoot.Size, orphan.Size)
+	}
+	if orphan.Leader != 6 {
+		t.Fatalf("orphan leader %d, want max id 6", orphan.Leader)
+	}
+	if withRoot.Leader != 4 {
+		t.Fatalf("root-side leader %d, want max id 4", withRoot.Leader)
+	}
+}
+
 // TestEngineDeterminism pins seeded reproducibility: equal seeds give
 // equal schedules and equal recovery statistics.
 func TestEngineDeterminism(t *testing.T) {

@@ -1,0 +1,49 @@
+package churn
+
+import (
+	"sort"
+
+	"netorient/internal/apps"
+	"netorient/internal/graph"
+)
+
+// ComponentStatus describes one live component at an instant of a
+// churn run: its label, size, whether it contains the protocol root,
+// and — for the components that do not (the detected orphan state) —
+// a locally elected stand-in leader. The paper's model has no root
+// failover, so the stand-in is measurement/bootstrap data, not a
+// protocol variable: orphan components quiesce under the per-component
+// legitimacy predicates and the stand-in identifies who would re-seed
+// them if the operator promoted one.
+type ComponentStatus struct {
+	Label   int
+	Size    int
+	HasRoot bool
+	Leader  graph.NodeID
+}
+
+// ComponentReport enumerates the live components of g, electing a
+// stand-in leader per component by flooding max-id election
+// (apps.ElectComponentRoots over NodeIDs, which are distinct by
+// construction). Results are sorted by label for seeded determinism.
+func ComponentReport(g *graph.Graph, root graph.NodeID) ([]ComponentStatus, error) {
+	leaders, _, err := apps.ElectComponentRoots(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	rootComp := -1
+	if g.Alive(root) {
+		rootComp = g.ComponentOf(root)
+	}
+	out := make([]ComponentStatus, 0, len(leaders))
+	for label, leader := range leaders {
+		out = append(out, ComponentStatus{
+			Label:   label,
+			Size:    g.ComponentSize(label),
+			HasRoot: label == rootComp,
+			Leader:  leader,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out, nil
+}

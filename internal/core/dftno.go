@@ -419,6 +419,14 @@ func (d *DFTNO) positionOK(v graph.NodeID) bool {
 // satisfy the cycle invariant (positionOK), and every edge label must
 // satisfy SP2 — precisely the configurations the ideal system visits
 // forever after stabilization.
+//
+// Orphan nodes — live but unreachable from the root, refName −1 —
+// cannot satisfy the naming clause (η is drawn from 0..N−1), and the
+// circulation never reaches them to assign one; their condition is
+// SP2 consistency alone: labels derived from whatever names the
+// partition froze. That is exactly the terminal state of an orphan
+// component (the substrate quiesces there per its own predicate, then
+// EdgeLabel fires at most once per node), so closure holds.
 func (d *DFTNO) Legitimate() bool {
 	if !d.sub.Legitimate() {
 		return false
@@ -427,13 +435,19 @@ func (d *DFTNO) Legitimate() bool {
 	// step in RunUntilLegitimate loops without a witness, and the name
 	// comparison fails fast. Dead nodes are outside the predicate.
 	for v := 0; v < d.g.N(); v++ {
-		if d.g.Alive(graph.NodeID(v)) && d.eta[v] != d.refNames[v] {
+		if d.g.Alive(graph.NodeID(v)) && d.refNames[v] >= 0 && d.eta[v] != d.refNames[v] {
 			return false
 		}
 	}
 	for v := 0; v < d.g.N(); v++ {
 		id := graph.NodeID(v)
 		if !d.g.Alive(id) {
+			continue
+		}
+		if d.refNames[v] < 0 {
+			if d.invalidEdgeLabel(id) {
+				return false
+			}
 			continue
 		}
 		if !d.positionOK(id) || d.invalidEdgeLabel(id) {

@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"T11", "scheduler — O(Δ) incremental guard re-evaluation vs Θ(n) full scan", T11SchedulerScaling},
 		{"T12", "scheduler — incremental legitimacy witness vs O(n) Legitimate() scan", T12WitnessLegitimacy},
 		{"T13", "dynamic topology — localized ApplyDelta invalidation and churn recovery", T13Churn},
+		{"T14", "partition tolerance — per-component convergence while split, heal-time merge vs partition count", T14PartitionHeal},
 	}
 }
 

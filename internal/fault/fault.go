@@ -77,11 +77,35 @@ type Churn struct {
 	Burst int
 	// Kind selects the element type (churn.EdgeFlap or
 	// churn.NodeCrash; a NodeCrash burst is capped at one node down at
-	// a time, the rest become flaps).
+	// a time, the rest become flaps). With AllowDisconnect the
+	// disconnecting kinds churn.BridgeCut, churn.IslandCrash and
+	// churn.Partition are also accepted (one bridge cut / island crash /
+	// partition per trial, the rest of the burst becomes flaps).
 	Kind churn.Kind
+	// AllowDisconnect lifts connectivity preservation: flap and crash
+	// picks skip the connectivity check, and the disconnecting kinds
+	// become available. Protocol legitimacy is per component, so the
+	// damaged system still converges while split.
+	AllowDisconnect bool
+	// PartitionSize bounds the cut-off region for churn.Partition
+	// (default n/4, min 1).
+	PartitionSize int
 	// CorruptFaults additionally corrupts this many random processors
 	// while the elements are down (0 = topology-only).
 	CorruptFaults int
+	// CorruptOrphans aims the corruption at nodes whose component lost
+	// the root during the down phase — the worst case for partition
+	// tolerance: the orphan region must re-quiesce with no root to
+	// anchor it, and the heal must absorb whatever the corruption left.
+	// When the take-down islanded nobody, the trial corrupts nobody.
+	CorruptOrphans bool
+	// CorruptAfterRestore flips the Invalidate/ApplyDelta order: by
+	// default corruption (System.Invalidate) lands while the elements
+	// are down and the heal's ApplyDelta follows; with this set the
+	// heal lands first and the same targets — chosen while the
+	// component was split — are corrupted afterwards. Both orders must
+	// recover; the composed-escape-hatch tests drive each.
+	CorruptAfterRestore bool
 	// DownFor is how many steps the elements stay down.
 	DownFor int64
 	// MaxSteps bounds each recovery and the initial stabilization.
@@ -116,38 +140,69 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 		sys = program.NewSystem(t, c.NewDaemon(trial))
 		apply := func(d graph.Delta) { sys.ApplyDelta(d) }
 		var restores []func() error
-		nodeDown := false
+		specialDown := false // the per-trial crash/bridge/island/partition fired
 		for b := 0; b < burst; b++ {
-			if c.Kind == churn.NodeCrash && !nodeDown {
-				if v, ok := churn.PickCrashNode(g, root, rng); ok {
-					restore, err := churn.CrashDown(g, v, apply)
-					if err != nil {
-						return out, err
-					}
-					restores = append(restores, restore)
-					nodeDown = true
-					continue
+			var restore func() error
+			var err error
+			switch {
+			case c.Kind == churn.NodeCrash && !specialDown:
+				pick := churn.PickCrashNode
+				if c.AllowDisconnect {
+					pick = churn.PickAnyNode
+				}
+				if v, ok := pick(g, root, rng); ok {
+					restore, err = churn.CrashDown(g, v, apply)
+					specialDown = true
+				}
+			case c.Kind == churn.IslandCrash && c.AllowDisconnect && !specialDown:
+				if v, ok := churn.PickCutVertex(g, root, rng); ok {
+					restore, err = churn.CrashDown(g, v, apply)
+					specialDown = true
+				}
+			case c.Kind == churn.BridgeCut && c.AllowDisconnect && !specialDown:
+				if u, v, ok := churn.PickBridgeEdge(g, rng); ok {
+					restore, err = churn.FlapDown(g, u, v, apply)
+					specialDown = true
+				}
+			case c.Kind == churn.Partition && c.AllowDisconnect && !specialDown:
+				size := c.PartitionSize
+				if size <= 0 {
+					size = g.NAlive() / 4
+				}
+				if size < 1 {
+					size = 1
+				}
+				if cut, ok := churn.PickPartitionCut(g, root, size, rng); ok {
+					restore, err = churn.CutDown(g, cut, apply)
+					specialDown = true
 				}
 			}
-			u, v, ok := churn.PickFlapEdge(g, rng)
-			if !ok {
-				break // tree-like remnant: nothing else can flap
-			}
-			restore, err := churn.FlapDown(g, u, v, apply)
 			if err != nil {
 				return out, err
 			}
+			if restore == nil {
+				pickFlap := churn.PickFlapEdge
+				if c.AllowDisconnect {
+					pickFlap = churn.PickAnyEdge
+				}
+				u, v, ok := pickFlap(g, rng)
+				if !ok {
+					break // tree-like remnant: nothing else can flap
+				}
+				if restore, err = churn.FlapDown(g, u, v, apply); err != nil {
+					return out, err
+				}
+			}
 			restores = append(restores, restore)
 		}
-		if c.CorruptFaults > 0 {
-			k := c.CorruptFaults
-			if k > g.N() {
-				k = g.N()
-			}
-			for _, v := range rng.Perm(g.N())[:k] {
-				if g.Alive(graph.NodeID(v)) {
-					t.CorruptNode(graph.NodeID(v), rng)
-				}
+		// Corruption targets are chosen now — while the topology damage
+		// is in effect — so CorruptOrphans can see which components
+		// lost the root; the corruption itself lands before or after
+		// the heal depending on CorruptAfterRestore.
+		targets := c.corruptionTargets(g, root, rng)
+		if len(targets) > 0 && !c.CorruptAfterRestore {
+			for _, v := range targets {
+				t.CorruptNode(v, rng)
 			}
 			sys.Invalidate()
 		}
@@ -158,6 +213,12 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 			if err := restores[i](); err != nil {
 				return out, err
 			}
+		}
+		if len(targets) > 0 && c.CorruptAfterRestore {
+			for _, v := range targets {
+				t.CorruptNode(v, rng)
+			}
+			sys.Invalidate()
 		}
 		res, err := sys.RunUntilLegitimate(c.MaxSteps)
 		if err != nil {
@@ -174,6 +235,42 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 		out.RecoveryRounds = append(out.RecoveryRounds, res.Rounds)
 	}
 	return out, nil
+}
+
+// corruptionTargets selects the processors a churn trial corrupts,
+// drawn while the take-down is in effect. With CorruptOrphans only
+// live nodes in components without the root qualify (possibly fewer
+// than CorruptFaults, zero when nothing was islanded); otherwise any
+// live node does. Either targeting mode advances the rng by exactly
+// one Perm, so the seeded schedule does not depend on it.
+func (c Churn) corruptionTargets(g *graph.Graph, root graph.NodeID, rng *rand.Rand) []graph.NodeID {
+	if c.CorruptFaults <= 0 {
+		return nil
+	}
+	perm := rng.Perm(g.N())
+	k := c.CorruptFaults
+	if k > g.N() {
+		k = g.N()
+	}
+	rootComp := -1
+	if g.Alive(root) {
+		rootComp = g.ComponentOf(root)
+	}
+	targets := make([]graph.NodeID, 0, k)
+	for _, v := range perm {
+		if len(targets) == k {
+			break
+		}
+		id := graph.NodeID(v)
+		if !g.Alive(id) {
+			continue
+		}
+		if c.CorruptOrphans && g.ComponentOf(id) == rootComp {
+			continue
+		}
+		targets = append(targets, id)
+	}
+	return targets
 }
 
 // Run executes the campaign on t. The protocol is first driven to a

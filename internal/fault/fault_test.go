@@ -248,6 +248,89 @@ func TestChurnAdversaryAllStacks(t *testing.T) {
 	}
 }
 
+// TestCorruptionInOrphanComponent is the partition-tolerance worst
+// case on every stack: the take-down islands a region from the root
+// (bridge cut on a lollipop tail), corruption lands specifically on
+// nodes whose component lost the root, and the heal must absorb it —
+// in both Invalidate/ApplyDelta orders (corrupt-while-down vs
+// corrupt-after-heal).
+func TestCorruptionInOrphanComponent(t *testing.T) {
+	t.Parallel()
+	for _, name := range allStacks {
+		for _, after := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/after=%v", name, after), func(t *testing.T) {
+				t.Parallel()
+				g := graph.Lollipop(5, 4)
+				p, err := buildTarget(name, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := Churn{
+					Trials:              6,
+					Burst:               1,
+					Kind:                churn.BridgeCut,
+					AllowDisconnect:     true,
+					CorruptFaults:       2,
+					CorruptOrphans:      true,
+					CorruptAfterRestore: after,
+					DownFor:             400,
+					MaxSteps:            int64(5000 * (g.N() + g.M())),
+					Seed:                13,
+					NewDaemon:           centralFactory,
+				}.Run(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Recovered != out.Trials {
+					t.Fatalf("recovered %d of %d trials", out.Recovered, out.Trials)
+				}
+				if !p.Legitimate() || !g.Connected() || g.NAlive() != g.N() {
+					t.Fatalf("campaign left damage behind: legit=%v %s alive=%d", p.Legitimate(), g, g.NAlive())
+				}
+			})
+		}
+	}
+}
+
+// TestChurnDisconnectingKindsAllStacks drives the island-crash and
+// partition take-downs (with random corruption on top) through the
+// composed escape hatches on every stack.
+func TestChurnDisconnectingKindsAllStacks(t *testing.T) {
+	t.Parallel()
+	for _, name := range allStacks {
+		for _, kind := range []churn.Kind{churn.IslandCrash, churn.Partition} {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				t.Parallel()
+				g := graph.Caterpillar(4, 2)
+				p, err := buildTarget(name, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := Churn{
+					Trials:          5,
+					Burst:           1,
+					Kind:            kind,
+					AllowDisconnect: true,
+					CorruptFaults:   1,
+					DownFor:         300,
+					MaxSteps:        int64(5000 * (g.N() + g.M())),
+					Seed:            29,
+					NewDaemon:       centralFactory,
+				}.Run(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Recovered != out.Trials {
+					t.Fatalf("recovered %d of %d trials", out.Recovered, out.Trials)
+				}
+				if !p.Legitimate() || !g.Connected() || g.NAlive() != g.N() {
+					t.Fatalf("campaign left damage behind: legit=%v %s alive=%d", p.Legitimate(), g, g.NAlive())
+				}
+			})
+		}
+	}
+}
+
 func TestSmallFaultsRecoverNoSlowerThanFullCorruption(t *testing.T) {
 	// Sanity shape check for T4: median recovery from 1 fault should
 	// not exceed the median recovery from full corruption by more

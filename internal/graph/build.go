@@ -256,6 +256,39 @@ func Gnp(n int, p float64, rng *rand.Rand) (*Graph, error) {
 	return g, nil
 }
 
+// GnpAny returns an Erdős–Rényi G(n,p) draw like Gnp but *without* the
+// connectivity rejection: the draw is returned as sampled, possibly
+// disconnected. This is the constructor for partition-tolerance work —
+// per-component legitimacy, orphan detection, churn with
+// -allow-disconnect — where a disconnected topology is the point, not
+// a sampling accident.
+func GnpAny(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: gnp-any needs n ≥ 1, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: gnp-any probability %g outside [0,1]", p)
+	}
+	if p == 1 {
+		return Complete(n), nil
+	}
+	b := NewBuilder(n)
+	if p > 0 {
+		lq := math.Log(1 - p)
+		for i := 0; i < n; i++ {
+			j := i
+			for {
+				j += 1 + int(math.Log(1-rng.Float64())/lq)
+				if j >= n || j < 0 {
+					break
+				}
+				b.MustAddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
 // Barabasi returns a Barabási–Albert preferential-attachment graph:
 // nodes 0..m form a seed clique; every later node attaches to m
 // distinct existing nodes chosen proportionally to their current
@@ -375,8 +408,10 @@ func checkSpecSize(family string, n, m, minN int64) error {
 // Named returns a generator by name, for the CLI tools. Supported:
 // ring:n path:n star:n clique:n wheel:n grid:RxC torus:RxC cube:d
 // tree:n:k caterpillar:S:L lollipop:C:T random:n:extra:seed
-// rtree:n:seed circulant:n:chord gnp:n:p:seed barabasi:n:m:seed
-// paper-token paper-tree paper-chordal.
+// rtree:n:seed circulant:n:chord gnp:n:p:seed gnp-any:n:p:seed
+// barabasi:n:m:seed paper-token paper-tree paper-chordal.
+// gnp-any is the G(n,p) draw without the connectivity rejection —
+// possibly disconnected by design.
 //
 // Named rejects specs implying absurd sizes (see maxSpecNodes /
 // maxSpecEdges) and sizes below each family's minimum, so arbitrary
@@ -486,6 +521,14 @@ func Named(spec string) (*Graph, error) {
 			return nil, err
 		}
 		return Circulant(a, []int{1, b2})
+	case scan(spec, "gnp-any:%d:%g:%d", &a, &f, &c):
+		if !(f >= 0 && f <= 1) { // also rejects NaN
+			return nil, fmt.Errorf("graph: gnp-any probability %g outside [0,1]", f)
+		}
+		if err := sz("gnp-any", int64(a), int64(float64(a)*float64(a)/2*f)+int64(a), 1); err != nil {
+			return nil, err
+		}
+		return GnpAny(a, f, rand.New(rand.NewSource(int64(c))))
 	case scan(spec, "gnp:%d:%g:%d", &a, &f, &c):
 		if !(f >= 0 && f <= 1) { // also rejects NaN
 			return nil, fmt.Errorf("graph: gnp probability %g outside [0,1]", f)

@@ -86,6 +86,16 @@ type Delta struct {
 	PortU   int    // port of the edge at U (-1 for node events)
 	PortV   int    // port of the edge at V (-1 for node events)
 	Touched []NodeID
+
+	// Components is the number of connected components of the live
+	// subgraph after the mutation, and CompChanged reports whether the
+	// mutation relabelled components beyond the Touched set (an edge
+	// addition merged two components, or a removal split one) — the
+	// events that bump Graph.CompVersion. Consumers caching
+	// component-derived facts must rebuild them when CompChanged is
+	// set; everything else refreshes through Touched as usual.
+	Components  int
+	CompChanged bool
 }
 
 // String renders the delta for traces.
@@ -156,14 +166,17 @@ func (g *Graph) AddEdge(u, v NodeID) (Delta, error) {
 	if g.HasEdge(u, v) {
 		return Delta{}, fmt.Errorf("%w {%d,%d}", ErrDuplicateEdge, u, v)
 	}
+	g.ensureComp()
 	pu := g.attach(u, v)
 	pv := g.attach(v, u)
 	g.edges++
 	g.version++
+	merged := g.compAddEdge(u, v)
 	return Delta{
 		Kind: EdgeAdded, Version: g.version,
 		U: u, V: v, PortU: pu, PortV: pv,
-		Touched: []NodeID{u, v},
+		Touched:    []NodeID{u, v},
+		Components: g.ncomp, CompChanged: merged,
 	}, nil
 }
 
@@ -179,6 +192,7 @@ func (g *Graph) RemoveEdge(u, v NodeID) (Delta, error) {
 	if !ok {
 		return Delta{}, fmt.Errorf("%w {%d,%d}", ErrEdgeMissing, u, v)
 	}
+	g.ensureComp()
 	pv := g.ports[v][u]
 	g.adj[u][pu] = None
 	delete(g.ports[u], v)
@@ -188,10 +202,12 @@ func (g *Graph) RemoveEdge(u, v NodeID) (Delta, error) {
 	g.deg[v]--
 	g.edges--
 	g.version++
+	split := g.compRemoveEdge(u, v)
 	return Delta{
 		Kind: EdgeRemoved, Version: g.version,
 		U: u, V: v, PortU: pu, PortV: pv,
-		Touched: []NodeID{u, v},
+		Touched:    []NodeID{u, v},
+		Components: g.ncomp, CompChanged: split,
 	}, nil
 }
 
@@ -200,6 +216,7 @@ func (g *Graph) RemoveEdge(u, v NodeID) (Delta, error) {
 // appends a fresh slot, growing N() by one. The node starts with an
 // empty port space; connect it with AddEdge.
 func (g *Graph) AddNode() (NodeID, Delta) {
+	g.ensureComp()
 	if g.dead > 0 {
 		for v := range g.alive {
 			if !g.alive[v] {
@@ -207,10 +224,12 @@ func (g *Graph) AddNode() (NodeID, Delta) {
 				g.dead--
 				g.version++
 				id := NodeID(v)
+				g.compAddNode(id)
 				return id, Delta{
 					Kind: NodeAdded, Version: g.version,
 					U: id, V: None, PortU: -1, PortV: -1,
-					Touched: []NodeID{id},
+					Touched:    []NodeID{id},
+					Components: g.ncomp,
 				}
 			}
 		}
@@ -223,10 +242,12 @@ func (g *Graph) AddNode() (NodeID, Delta) {
 	}
 	g.version++
 	id := NodeID(len(g.adj) - 1)
+	g.compAddNode(id)
 	return id, Delta{
 		Kind: NodeAdded, Version: g.version,
 		U: id, V: None, PortU: -1, PortV: -1,
-		Touched: []NodeID{id},
+		Touched:    []NodeID{id},
+		Components: g.ncomp,
 	}
 }
 
@@ -240,6 +261,7 @@ func (g *Graph) RemoveNode(v NodeID) (Delta, error) {
 	if !g.Alive(v) {
 		return Delta{}, fmt.Errorf("%w: node %d", ErrNodeDead, v)
 	}
+	g.ensureComp()
 	touched := []NodeID{v}
 	for _, q := range g.adj[v] {
 		if q == None {
@@ -264,9 +286,11 @@ func (g *Graph) RemoveNode(v NodeID) (Delta, error) {
 	g.alive[v] = false
 	g.dead++
 	g.version++
+	split := g.compRemoveNode(v, touched[1:])
 	return Delta{
 		Kind: NodeRemoved, Version: g.version,
 		U: v, V: None, PortU: -1, PortV: -1,
-		Touched: touched,
+		Touched:    touched,
+		Components: g.ncomp, CompChanged: split,
 	}, nil
 }

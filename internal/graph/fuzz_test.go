@@ -17,8 +17,10 @@ func FuzzNamed(f *testing.F) {
 		"ring:8", "path:5", "star:6", "clique:5", "wheel:6", "grid:3x4",
 		"torus:3x3", "cube:3", "tree:7:2", "caterpillar:3:2", "lollipop:4:3",
 		"random:9:4:7", "rtree:9:7", "circulant:8:3", "gnp:12:0.4:3",
+		"gnp-any:12:0.08:3", "gnp-any:16:0:1", "gnp-any:24:0.05:9",
 		"barabasi:12:2:3", "paper-token", "paper-tree", "paper-chordal",
-		"ring:-1", "grid:99999999x99999999", "gnp:10:nan:1", "bogus:1",
+		"ring:-1", "grid:99999999x99999999", "gnp:10:nan:1",
+		"gnp-any:10:nan:1", "bogus:1",
 	} {
 		f.Add(spec)
 	}
@@ -70,6 +72,7 @@ func checkGraphInvariants(t *testing.T, g *Graph) {
 	if m/2 != g.M() {
 		t.Fatalf("M()=%d but counted %d", g.M(), m/2)
 	}
+	checkComponents(t, g)
 }
 
 // seedCorpusSpecs reads the string seeds from the committed corpus
@@ -109,8 +112,8 @@ func TestNamedSeedCorpusCoversFamilies(t *testing.T) {
 	for _, family := range []string{
 		"ring:", "path:", "star:", "clique:", "wheel:", "grid:", "torus:",
 		"cube:", "tree:", "caterpillar:", "lollipop:", "random:", "rtree:",
-		"circulant:", "gnp:", "barabasi:", "paper-token", "paper-tree",
-		"paper-chordal",
+		"circulant:", "gnp:", "gnp-any:", "barabasi:", "paper-token",
+		"paper-tree", "paper-chordal",
 	} {
 		if !strings.Contains(joined, family) {
 			t.Errorf("seed corpus misses family %q", family)

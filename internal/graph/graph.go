@@ -39,6 +39,20 @@ type Graph struct {
 	alive   []bool // nil ⇒ every node alive
 	dead    int    // number of dead nodes
 	version uint64 // monotone topology version
+
+	// Incremental connected-component tracking (components.go). comp is
+	// nil until the first query or mutation initialises it; from then on
+	// it is maintained across every mutation.
+	comp     []int32 // component label per node; -1 for dead nodes
+	compSize []int   // live size per label (stale entries for freed labels)
+	compFree []int32 // freed labels available for reuse
+	ncomp    int     // number of live components
+	compVer  uint64  // bumped whenever labels change beyond the touched set
+
+	// Scratch for the bounded split search (components.go).
+	stampA, stampB []uint32
+	stampEpoch     uint32
+	queueA, queueB []NodeID
 }
 
 // Builder accumulates edges for a Graph.

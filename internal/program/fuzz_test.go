@@ -16,19 +16,33 @@ import (
 // running under both schedulers, asserting the incremental runner
 // stays bit-identical to the full-scan oracle and the armed witness
 // agrees with the O(n) predicate after every delta. The stream may
-// transiently disconnect the live graph (the partition scenario);
-// only the root is immortal. Every mutation flows through ApplyDelta —
-// including ones that later reverse, since a remove/re-add pair can
-// legitimately renumber ports when older holes exist below.
+// disconnect the live graph outright (the partition scenario): edge
+// toggles are unrestricted, so splits, orphan components and heal-time
+// merges all occur; only the root is immortal. A leading byte ≡ 3
+// (mod 7) swaps the base grid for a bridgy lollipop where every tail
+// toggle is a split or a merge. Every mutation flows through
+// ApplyDelta — including ones that later reverse, since a remove/
+// re-add pair can legitimately renumber ports when older holes exist
+// below.
 func FuzzApplyDelta(f *testing.F) {
 	f.Add([]byte{0, 1, 4, 0, 2, 9, 0, 0, 1, 4})
 	f.Add([]byte{2, 4, 0, 0, 0, 2, 4, 1, 11, 1, 11})
 	f.Add([]byte{1, 0, 1, 1, 1, 2, 1, 3, 0, 0, 0, 0})
+	// Isolate grid corner 8 (toggle its two incident edges), step,
+	// crash node 7 next to the hole, step again.
+	f.Add([]byte{1, 9, 1, 11, 0, 2, 6, 0, 0})
+	// Lollipop base (leading 10 ≡ 3 mod 7): cut tail bridge {4,5},
+	// crash orphaned node 5, then cut bridge {0,4} for a three-way
+	// split.
+	f.Add([]byte{10, 7, 0, 2, 4, 0, 10, 3, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
 			data = data[:256]
 		}
 		g := graph.Grid(3, 3)
+		if len(data) > 0 && data[0]%7 == 3 {
+			g = graph.Lollipop(4, 3) // bridges everywhere: splits are one toggle away
+		}
 		baseEdges := g.Edges()
 		mkStack := func() (*core.DFTNO, error) {
 			sub, err := token.NewCirculator(g, 0)

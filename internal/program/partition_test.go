@@ -1,0 +1,292 @@
+package program_test
+
+// Partition-tolerance differential tests: with the connectivity
+// restriction lifted, the incremental scheduler must stay bit-identical
+// to the full-scan oracle on graphs that are disconnected from the
+// start, across a bridge cut that orphans part of the network, and
+// across the heal that merges the components back. Per-component
+// legitimacy must be reached while split (root component circulating /
+// oriented, orphan components quiesced in their detected-orphan
+// fixpoints), and the heal must re-stabilize through localized
+// invalidation, not a whole-system reset.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netorient/internal/core"
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/token"
+)
+
+// lockstepUntil drives both systems in lockstep until goal() holds,
+// asserting identical per-step move counts and identical snapshots
+// throughout. It fails on divergence, on quiescence before the goal,
+// and on budget exhaustion; it returns the number of steps taken.
+func lockstepUntil(t *testing.T, inc, full *program.System, pInc, pFull diffTarget, max int, goal func() bool) int {
+	t.Helper()
+	for i := 0; i < max; i++ {
+		if goal() {
+			return i
+		}
+		nInc, errInc := inc.Step()
+		nFull, errFull := full.Step()
+		if errInc != nil || errFull != nil || nInc != nFull {
+			t.Fatalf("lockstep step %d: inc=(%d,%v) full=(%d,%v)", i, nInc, errInc, nFull, errFull)
+		}
+		if string(pInc.Snapshot()) != string(pFull.Snapshot()) {
+			t.Fatalf("lockstep step %d: configurations diverge", i)
+		}
+		if nInc == 0 && !goal() {
+			t.Fatalf("lockstep step %d: both systems quiesced before the goal", i)
+		}
+	}
+	t.Fatalf("goal not reached within %d lockstep steps", max)
+	return 0
+}
+
+// disconnectedGraphs builds the disconnected test topologies fresh per
+// call (parallel subtests must not share a graph: component labels are
+// maintained lazily inside it).
+func disconnectedGraphs() map[string]func() *graph.Graph {
+	return map[string]func() *graph.Graph{
+		// An Erdős–Rényi draw kept as sampled: components of sizes
+		// 6/6/2 at this seed (pinned by the assertion below).
+		"gnp-any": func() *graph.Graph {
+			g, err := graph.Named("gnp-any:14:0.10:12")
+			if err != nil {
+				panic(err)
+			}
+			return g
+		},
+		// A lollipop whose tail bridge has been cut: the root's
+		// component keeps the clique, nodes 7-8 are orphaned.
+		"cut-lollipop": func() *graph.Graph {
+			g := graph.Lollipop(5, 4)
+			if _, err := g.RemoveEdge(6, 7); err != nil {
+				panic(err)
+			}
+			return g
+		},
+		// A path plus a degree-0 orphan: the smallest orphan component.
+		"isolated-node": func() *graph.Graph {
+			b := graph.NewBuilder(6)
+			for i := 0; i < 4; i++ {
+				b.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1))
+			}
+			return b.Build()
+		},
+	}
+}
+
+// TestSchedulerEquivalenceDisconnected locksteps the incremental and
+// full-scan runners on graphs that are disconnected from construction:
+// every stack must accept them (the lifted restriction), converge to
+// per-component legitimacy from an adversarial start, and do so
+// bit-identically under both schedulers.
+func TestSchedulerEquivalenceDisconnected(t *testing.T) {
+	t.Parallel()
+	daemons := map[string]func() program.Daemon{
+		"central":     func() program.Daemon { return daemon.NewCentral(17) },
+		"synchronous": func() program.Daemon { return daemon.NewSynchronous(17) },
+	}
+	for gname, mkGraph := range disconnectedGraphs() {
+		for pname, build := range churnBuilders() {
+			for dname, mkDaemon := range daemons {
+				t.Run(fmt.Sprintf("%s/%s/%s", gname, pname, dname), func(t *testing.T) {
+					t.Parallel()
+					g := mkGraph()
+					if g.Components() < 2 {
+						t.Fatalf("test graph %s is connected; the premise is gone", gname)
+					}
+					pInc, err := build(g)
+					if err != nil {
+						t.Fatalf("stack %s rejected a disconnected graph: %v", pname, err)
+					}
+					pFull, err := build(g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pInc.Randomize(rand.New(rand.NewSource(31)))
+					pFull.Randomize(rand.New(rand.NewSource(31)))
+					inc := program.NewSystem(pInc, mkDaemon())
+					full := program.NewSystemFullScan(pFull, mkDaemon())
+					leg := pInc.(program.Legitimacy)
+					steps := lockstepUntil(t, inc, full, pInc, pFull, 8000, leg.Legitimate)
+					if inc.Moves() != full.Moves() || inc.Rounds() != full.Rounds() {
+						t.Fatalf("counters diverge after %d steps: inc (m=%d r=%d) vs full (m=%d r=%d)",
+							steps, inc.Moves(), inc.Rounds(), full.Moves(), full.Rounds())
+					}
+					if inc.EnabledCount() != full.EnabledCount() {
+						t.Fatalf("enabled counts diverge: %d vs %d", inc.EnabledCount(), full.EnabledCount())
+					}
+					if w, ok := pInc.(program.Witness); ok {
+						if !w.WitnessLegitimate() {
+							t.Fatal("O(n) predicate legitimate but witness disagrees")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionHealLockstep is the partition/heal campaign in
+// differential form, run over every stack: stabilize connected, cut
+// the lollipop's tail bridge (orphaning two nodes), converge to
+// per-component legitimacy while split, heal the bridge, and converge
+// again — with the incremental scheduler lockstepped against the
+// full-scan oracle through both ApplyDelta events and every step in
+// between.
+func TestPartitionHealLockstep(t *testing.T) {
+	t.Parallel()
+	for pname, build := range churnBuilders() {
+		t.Run(pname, func(t *testing.T) {
+			t.Parallel()
+			g := graph.Lollipop(5, 4) // clique 0-4, tail 5-8; bridge 6-7
+			pInc, err := build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pFull, err := build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pInc.Randomize(rand.New(rand.NewSource(21)))
+			pFull.Randomize(rand.New(rand.NewSource(21)))
+			inc := program.NewSystem(pInc, daemon.NewCentral(6))
+			full := program.NewSystemFullScan(pFull, daemon.NewCentral(6))
+			leg := pInc.(program.Legitimacy)
+			wInc, hasWit := pInc.(program.Witness)
+			if hasWit {
+				// Arm the incremental witness (zero steps) so the
+				// post-delta audits exercise counter maintenance.
+				if _, err := inc.RunUntilLegitimate(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			apply := func(d graph.Delta, what string) {
+				inc.ApplyDelta(d)
+				full.ApplyDelta(d)
+				if string(pInc.Snapshot()) != string(pFull.Snapshot()) {
+					t.Fatalf("%s: configurations diverge after delta", what)
+				}
+				if inc.EnabledCount() != full.EnabledCount() {
+					t.Fatalf("%s: enabled counts diverge: %d vs %d",
+						what, inc.EnabledCount(), full.EnabledCount())
+				}
+				if hasWit {
+					if got, want := wInc.WitnessLegitimate(), leg.Legitimate(); got != want {
+						t.Fatalf("%s: witness says %v, Legitimate() says %v", what, got, want)
+					}
+				}
+			}
+
+			// Phase 1: stabilize the connected network.
+			lockstepUntil(t, inc, full, pInc, pFull, 8000, leg.Legitimate)
+
+			// Phase 2: cut the bridge; nodes 7-8 lose the root.
+			d, err := g.RemoveEdge(6, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.CompChanged || d.Components != 2 {
+				t.Fatalf("bridge cut reported %+v; want a split to 2 components", d)
+			}
+			apply(d, "cut")
+			if g.SameComponent(0, 7) {
+				t.Fatal("nodes 0 and 7 still share a component after the cut")
+			}
+
+			// Phase 3: converge while split. Legitimate() now means the
+			// root component satisfies the classic predicate restricted
+			// to it AND the orphan component has quiesced.
+			lockstepUntil(t, inc, full, pInc, pFull, 8000, leg.Legitimate)
+			if g.Components() != 2 {
+				t.Fatalf("component count drifted to %d during the split phase", g.Components())
+			}
+
+			// Phase 4: heal the bridge and converge on the merged
+			// network.
+			d2, err := g.AddEdge(6, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d2.CompChanged || d2.Components != 1 {
+				t.Fatalf("heal reported %+v; want a merge to 1 component", d2)
+			}
+			apply(d2, "heal")
+			lockstepUntil(t, inc, full, pInc, pFull, 8000, leg.Legitimate)
+			if inc.Moves() != full.Moves() || inc.Rounds() != full.Rounds() {
+				t.Fatalf("counters diverge: inc (m=%d r=%d) vs full (m=%d r=%d)",
+					inc.Moves(), inc.Rounds(), full.Moves(), full.Rounds())
+			}
+		})
+	}
+}
+
+// TestHealInvalidationIsLocal pins the heal-time cost claim on the
+// DFTNO stack: cutting and healing a bridge deep in a lollipop's tail
+// re-evaluates only the boundary ball plus the (small) renamed orphan
+// region — a handful of guards, far below the Θ(n) a whole-system
+// Invalidate would pay on the 38-node graph.
+func TestHealInvalidationIsLocal(t *testing.T) {
+	t.Parallel()
+	g := graph.Lollipop(30, 8) // clique 0-29, tail 30-37
+	sub, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDFTNO(g, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &guardCounter{DFTNO: d}
+	sys := program.NewSystem(w, daemon.NewCentral(3))
+	if _, err := sys.RunUntilLegitimate(10); err != nil {
+		t.Fatal(err) // constructed legitimate; arms the witness
+	}
+	// Circulate for a while: the guard cache bootstraps on the first
+	// step, and ApplyDelta repairs nothing before that.
+	if _, err := sys.RunUntil(func() bool { return false }, 500); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut between the last two tail nodes: nodes 36-37 are orphaned.
+	w.evals = 0
+	dl, err := g.RemoveEdge(35, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ApplyDelta(dl)
+	cutEvals := w.evals
+	if res, err := sys.RunUntilLegitimate(100000); err != nil || !res.Converged {
+		t.Fatalf("no per-component re-stabilization after cut: %+v %v", res, err)
+	}
+
+	w.evals = 0
+	dl2, err := g.AddEdge(35, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ApplyDelta(dl2)
+	healEvals := w.evals
+	if res, err := sys.RunUntilLegitimate(100000); err != nil || !res.Converged {
+		t.Fatalf("no re-stabilization after heal: %+v %v", res, err)
+	}
+	// The ball around the bridge has 4 nodes and the orphan region 2;
+	// a generous constant still separates this sharply from n=38.
+	if cutEvals == 0 || cutEvals > 16 {
+		t.Fatalf("bridge cut re-evaluated %d guards; want a boundary ball, not Θ(n)=%d", cutEvals, g.N())
+	}
+	if healEvals == 0 || healEvals > 16 {
+		t.Fatalf("bridge heal re-evaluated %d guards; want a boundary ball, not Θ(n)=%d", healEvals, g.N())
+	}
+	if !d.Legitimate() {
+		t.Fatal("legitimate by witness but not by scan")
+	}
+}

@@ -54,9 +54,6 @@ func NewBFSTree(g *graph.Graph, root graph.NodeID) (*BFSTree, error) {
 	if root < 0 || int(root) >= g.N() {
 		return nil, fmt.Errorf("spantree: root %d out of range for %s", root, g)
 	}
-	if !g.Connected() {
-		return nil, graph.ErrNotConnected
-	}
 	t := &BFSTree{
 		g:    g,
 		root: root,
@@ -68,6 +65,11 @@ func NewBFSTree(g *graph.Graph, root graph.NodeID) (*BFSTree, error) {
 		t.par[v] = graph.None
 	}
 	t.wantDist, _ = graph.BFSFrom(g, root)
+	for v := range t.wantDist {
+		if t.wantDist[v] < 0 {
+			t.wantDist[v] = g.N() // unreachable ⇒ the "infinite" value
+		}
+	}
 	return t, nil
 }
 
@@ -159,7 +161,11 @@ func (t *BFSTree) ActionName(a program.ActionID) string { return "FixDist" }
 func (t *BFSTree) Stable() bool { return t.Legitimate() }
 
 // Legitimate implements program.Legitimacy: every live node holds the
-// true BFS distance and the first minimal neighbour as parent.
+// true BFS distance and the first minimal neighbour as parent. On a
+// disconnected graph the true distance of a node whose component lost
+// the root is the "infinite" value n with no parent — any smaller
+// value strictly increases under desired, so the orphan fixpoint is
+// all-n: a locally detectable orphan state.
 func (t *BFSTree) Legitimate() bool {
 	for v := 0; v < t.g.N(); v++ {
 		if !t.g.Alive(graph.NodeID(v)) {

@@ -55,9 +55,6 @@ func NewDFSTree(g *graph.Graph, root graph.NodeID) (*DFSTree, error) {
 	if root < 0 || int(root) >= g.N() {
 		return nil, fmt.Errorf("spantree: root %d out of range for %s", root, g)
 	}
-	if !g.Connected() {
-		return nil, graph.ErrNotConnected
-	}
 	t := &DFSTree{
 		g:    g,
 		root: root,

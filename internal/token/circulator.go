@@ -109,9 +109,6 @@ func NewCirculator(g *graph.Graph, root graph.NodeID) (*Circulator, error) {
 	if root < 0 || int(root) >= g.N() {
 		return nil, fmt.Errorf("token: root %d out of range for %s", root, g)
 	}
-	if !g.Connected() {
-		return nil, graph.ErrNotConnected
-	}
 	n := g.N()
 	c := &Circulator{
 		g:    g,
@@ -458,20 +455,62 @@ func (c *Circulator) ActionName(a program.ActionID) string {
 	return "?"
 }
 
-// Legitimate implements program.Legitimacy: the configuration is one
-// of those reachable in ideal operation — either the between-rounds
-// configuration (everyone done with the root's counter) or a mid-round
-// configuration whose visited set is a DFS prefix: a pointer chain of
-// unfinished nodes from the root with consistent levels and parents,
-// every other visited node finished, every unvisited node one round
-// behind and finished, and at most one in-flight arrow at the chain's
-// head.
+// orphanSilent reports whether no action is enabled at v — the
+// legitimacy condition for nodes in a component that lost the root.
+// Such components provably quiesce (Σseq is monotone and bounded by
+// the component maximum, and between counter changes Advance and
+// Break each fire at most once per node), but the terminal
+// configuration is whatever junk the partition froze — so orphan
+// legitimacy is silence, not a shape predicate. It reads the same
+// 1-hop ball as Enabled, through the guard helpers directly, keeping
+// instrumented Enabled-call counts unchanged on connected graphs.
+func (c *Circulator) orphanSilent(v graph.NodeID) bool {
+	if v == c.root {
+		if c.done[v] {
+			return false // Start is enabled
+		}
+	} else if c.arrowSource(v) != graph.None {
+		return false
+	}
+	return !c.advanceReady(v) && !c.catchUpReady(v) && !c.breakReady(v)
+}
+
+// rootComponent returns the component label of the root, or -1 when
+// the root is dead (every live node is then an orphan).
+func (c *Circulator) rootComponent() int {
+	if !c.g.Alive(c.root) {
+		return -1
+	}
+	return c.g.ComponentOf(c.root)
+}
+
+// Legitimate implements program.Legitimacy, decided per component: the
+// root's component must be in a configuration reachable in ideal
+// operation — either the between-rounds configuration (everyone done
+// with the root's counter) or a mid-round configuration whose visited
+// set is a DFS prefix: a pointer chain of unfinished nodes from the
+// root with consistent levels and parents, every other visited node
+// finished, every unvisited node one round behind and finished, and at
+// most one in-flight arrow at the chain's head. Every node in a
+// component without the root must be silent (see orphanSilent); a dead
+// root makes every live node an orphan. Closure holds because the
+// guards read one hop: silence in an orphan component is stable until
+// a topology delta reconnects it, and the root's component cannot
+// enable an orphan.
 func (c *Circulator) Legitimate() bool {
 	r := c.root
 	rnd := c.seq[r]
-	if c.done[r] {
+	rootComp := c.rootComponent()
+	if rootComp < 0 || c.done[r] {
 		for v := 0; v < c.g.N(); v++ {
-			if !c.g.Alive(graph.NodeID(v)) {
+			id := graph.NodeID(v)
+			if !c.g.Alive(id) {
+				continue
+			}
+			if c.g.ComponentOf(id) != rootComp {
+				if !c.orphanSilent(id) {
+					return false
+				}
 				continue
 			}
 			if c.seq[v] != rnd || !c.done[v] || c.ptr[v] != -1 {
@@ -480,7 +519,8 @@ func (c *Circulator) Legitimate() bool {
 		}
 		return true
 	}
-	// Mid-round: walk the pointer chain from the root.
+	// Mid-round: walk the pointer chain from the root. The chain stays
+	// inside the root's component (pointers designate neighbours).
 	if c.chainStamp == nil {
 		c.chainStamp = make([]uint64, c.g.N())
 	}
@@ -508,26 +548,33 @@ func (c *Circulator) Legitimate() bool {
 			v = q
 		case c.seq[q] == rnd && c.done[q]:
 			// Head awaiting an advance past a finished child.
-			return c.checkOffChain(onChain, rnd)
+			return c.checkOffChain(onChain, rnd, rootComp)
 		case c.seq[q]+1 == rnd && c.done[q]:
 			// Head with an in-flight arrow to an unvisited node.
-			return c.checkOffChain(onChain, rnd)
+			return c.checkOffChain(onChain, rnd, rootComp)
 		default:
 			return false
 		}
 	}
-	return c.checkOffChain(onChain, rnd)
+	return c.checkOffChain(onChain, rnd, rootComp)
 }
 
-// checkOffChain verifies every node not on the pointer chain: visited
-// nodes are finished with retracted pointers and valid parents;
-// unvisited nodes are exactly one round behind and finished.
-func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64) bool {
+// checkOffChain verifies every node not on the pointer chain. In the
+// root's component: visited nodes are finished with retracted pointers
+// and valid parents; unvisited nodes are exactly one round behind and
+// finished. In every other component: silence.
+func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64, rootComp int) bool {
 	for v := 0; v < c.g.N(); v++ {
 		if onChain[v] == c.chainEpoch || !c.g.Alive(graph.NodeID(v)) {
 			continue
 		}
 		id := graph.NodeID(v)
+		if c.g.ComponentOf(id) != rootComp {
+			if !c.orphanSilent(id) {
+				return false
+			}
+			continue
+		}
 		switch {
 		case c.seq[v] == rnd:
 			if !c.done[v] || c.ptr[v] != -1 {

@@ -261,11 +261,18 @@ func TestCirculatorRejectsBadConstruction(t *testing.T) {
 	if _, err := NewCirculator(g, 99); err == nil {
 		t.Error("expected error for out-of-range root")
 	}
+	// Disconnected graphs are accepted: the clean initial state is
+	// between-rounds in the root's component and silent in the orphan
+	// one, so it is legitimate per component from the start.
 	b := graph.NewBuilder(4)
 	b.MustAddEdge(0, 1)
 	b.MustAddEdge(2, 3)
-	if _, err := NewCirculator(b.Build(), 0); err == nil {
-		t.Error("expected error for disconnected graph")
+	c, err := NewCirculator(b.Build(), 0)
+	if err != nil {
+		t.Fatalf("disconnected graph rejected: %v", err)
+	}
+	if !c.Legitimate() {
+		t.Error("fresh disconnected circulator not legitimate per component")
 	}
 }
 

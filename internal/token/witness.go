@@ -32,9 +32,21 @@ import (
 //	         child awaiting advance, or a one-round-behind finished
 //	         in-flight target.
 //
-// Between rounds (done_root): legitimate ⇔ cnt[rnd] = n ∧ a[rnd] = 0.
-// Mid-round (¬done_root): legitimate ⇔ lev_root = 0 ∧
-// cnt[rnd]+cnt[rnd−1] = n ∧ a[rnd−1] = 0 ∧ b[rnd] = d[rnd] = e[rnd] = 0.
+// The counters are component-scoped: only nodes in the root's
+// component contribute to the seq buckets, and the population they are
+// compared against is ComponentSize(rootComp), not NAlive. Nodes in a
+// component without the root contribute a single bit — whether any
+// action is enabled (orphanSilent) — tallied in orphanLoud; orphan
+// legitimacy is orphanLoud = 0. Which bucket a node feeds depends on
+// component labels, which a merge or split relabels WITHOUT touching
+// the node, so the witness caches the CompVersion it was built against
+// and rebuilds from scratch when the graph's moves past it.
+//
+// Between rounds (done_root): legitimate ⇔ cnt[rnd] = n_comp ∧
+// a[rnd] = 0 ∧ orphanLoud = 0. Mid-round (¬done_root): legitimate ⇔
+// lev_root = 0 ∧ cnt[rnd]+cnt[rnd−1] = n_comp ∧ a[rnd−1] = 0 ∧
+// b[rnd] = d[rnd] = e[rnd] = 0 ∧ orphanLoud = 0. Dead root: every
+// live node is an orphan; legitimate ⇔ orphanLoud = 0.
 //
 // The mid-round equivalence with the chain walk: d[rnd] = 0 makes
 // every non-root unfinished node the unique pointer-designated child
@@ -42,15 +54,19 @@ import (
 // chains descend in lev and terminate only at the root — the
 // unfinished nodes form exactly one pointer chain from the root, each
 // node having at most one chain child because a pointer designates one
-// neighbour. e[rnd] = 0 pins every chain pointer to the walk's three
+// neighbour (parents are neighbours, so the chain never leaves the
+// component). e[rnd] = 0 pins every chain pointer to the walk's three
 // head cases, b[rnd] = 0 is checkOffChain's visited clause, a[rnd−1] =
 // 0 its unvisited clause, and the cnt equation its default clause.
 // TestWitnessMatchesChainWalk audits the equivalence on random
 // executions; the model-checking suites pin Legitimate() itself.
 type circWitness struct {
-	valid bool
-	tab   map[uint64]witCounters
-	node  []witContrib // cached contribution, for O(1) retraction
+	valid      bool
+	tab        map[uint64]witCounters
+	node       []witContrib // cached contribution, for O(1) retraction
+	orphanLoud int          // orphan nodes with an enabled action
+	compVer    uint64       // graph.CompVersion the labels were read at
+	rootAlive  bool         // root liveness the labels were read at
 }
 
 // witCounters aggregates one seq bucket.
@@ -58,14 +74,17 @@ type witCounters struct {
 	cnt, a, b, d, e int
 }
 
-// witContrib is one node's cached contribution to its bucket. A dead
-// node (topology churn) contributes nothing: its frozen variables are
-// outside every legitimacy clause, and the between-rounds population
-// count compares against NAlive, not N.
+// witContrib is one node's cached contribution. A dead node (topology
+// churn) contributes nothing: its frozen variables are outside every
+// legitimacy clause, and the population count compares against the
+// root component's size, not N. An orphan node (live, component
+// without the root) contributes only its loud bit.
 type witContrib struct {
 	seq        uint64
 	a, b, d, e bool
 	dead       bool
+	orphan     bool
+	loud       bool // orphan only: some action is enabled
 }
 
 // Compile-time interface compliance.
@@ -111,10 +130,14 @@ func (c *Circulator) headPtrOK(v graph.NodeID) bool {
 	return false
 }
 
-// witContribOf derives node v's contribution from its neighbourhood.
+// witContribOf derives node v's contribution from its neighbourhood
+// and its component label (read at the cached CompVersion).
 func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
 	if !c.g.Alive(v) {
 		return witContrib{dead: true}
+	}
+	if c.g.ComponentOf(v) != c.rootComponent() {
+		return witContrib{orphan: true, loud: !c.orphanSilent(v)}
 	}
 	w := witContrib{seq: c.seq[v]}
 	w.a = !c.done[v] || c.ptr[v] != -1
@@ -134,6 +157,12 @@ func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
 // witApply adds (dir=+1) or retracts (dir=−1) a contribution.
 func (c *Circulator) witApply(w witContrib, dir int) {
 	if w.dead {
+		return
+	}
+	if w.orphan {
+		if w.loud {
+			c.wit.orphanLoud += dir
+		}
 		return
 	}
 	k := c.wit.tab[w.seq]
@@ -168,6 +197,9 @@ func (c *Circulator) WitnessReset() {
 	if c.wit.tab == nil || len(c.wit.tab) > 0 {
 		c.wit.tab = make(map[uint64]witCounters, 4)
 	}
+	c.wit.orphanLoud = 0
+	c.wit.compVer = c.g.CompVersion()
+	c.wit.rootAlive = c.g.Alive(c.root)
 	for v := 0; v < c.g.N(); v++ {
 		w := c.witContribOf(graph.NodeID(v))
 		c.wit.node[v] = w
@@ -191,18 +223,32 @@ func (c *Circulator) WitnessRefresh(v graph.NodeID) {
 }
 
 // WitnessLegitimate implements program.Witness, deciding Legitimate()
-// from the counters in O(1).
+// from the counters in O(1). A merge or split relabels components
+// beyond any Touched set, silently moving nodes between the seq
+// buckets and the orphan tally, so a CompVersion mismatch forces a
+// rebuild before the counters are trusted. So does a flip of the
+// root's liveness: the root dying (or reviving) re-classifies every
+// live node without relabelling anything.
 func (c *Circulator) WitnessLegitimate() bool {
-	if c.wit == nil || !c.wit.valid {
+	if c.wit == nil || !c.wit.valid || c.wit.compVer != c.g.CompVersion() ||
+		c.wit.rootAlive != c.g.Alive(c.root) {
 		c.WitnessReset()
 	}
+	if c.wit.orphanLoud != 0 {
+		return false
+	}
+	rootComp := c.rootComponent()
+	if rootComp < 0 {
+		return true // dead root: orphan silence is the whole predicate
+	}
+	pop := c.g.ComponentSize(rootComp)
 	rnd := c.seq[c.root]
 	k := c.wit.tab[rnd]
 	if c.done[c.root] {
-		return k.cnt == c.g.NAlive() && k.a == 0
+		return k.cnt == pop && k.a == 0
 	}
 	kp := c.wit.tab[rnd-1]
 	return c.lev[c.root] == 0 &&
-		k.cnt+kp.cnt == c.g.NAlive() &&
+		k.cnt+kp.cnt == pop &&
 		kp.a == 0 && k.b == 0 && k.d == 0 && k.e == 0
 }
