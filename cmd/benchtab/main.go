@@ -66,7 +66,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expList, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T12)", id)
+				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T15)", id)
 			}
 			selected = append(selected, e)
 		}

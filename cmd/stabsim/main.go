@@ -10,6 +10,7 @@
 //	stabsim -graph clique:6 -proto token -daemon distributed
 //	stabsim -graph grid:8x8 -proto dftno -churn 10 -churn-kind mixed
 //	stabsim -graph lollipop:8:6 -proto token -churn 8 -churn-kind partition -allow-disconnect
+//	stabsim -graph lollipop:8:6 -proto dftno -soak 10 -leave-split 1
 //
 // With -allow-disconnect churn events may split the graph: legitimacy
 // is then judged per component (the root's component by the classic
@@ -17,6 +18,15 @@
 // per-component convergence while split, and heals merge components
 // back. Without it every event preserves connectivity, as in the
 // paper's model.
+//
+// -failover wraps the stack in the root-failover layer
+// (internal/failover): nodes detect disconnection from local
+// variables, orphan components elect and re-anchor at acting roots,
+// and heals abdicate them. -soak N implies -failover and runs the
+// long-lived multi-partition soak (internal/churn.Soak): N mutation
+// phases of overlapping splits, partial heals and root crash/revive,
+// with per-phase detection-latency measurement and invariant checks —
+// any violation exits non-zero.
 //
 // stabsim exits non-zero whenever a campaign exhausts its step budget
 // without reaching legitimacy — a partially recovered fault or churn
@@ -32,6 +42,7 @@ import (
 	"netorient/internal/churn"
 	"netorient/internal/core"
 	"netorient/internal/daemon"
+	"netorient/internal/failover"
 	"netorient/internal/fault"
 	"netorient/internal/graph"
 	"netorient/internal/program"
@@ -79,6 +90,23 @@ func buildProtocol(name string, g *graph.Graph, root graph.NodeID) (target, erro
 	return nil, fmt.Errorf("unknown protocol %q (dftno|stno|token|bfstree|dfstree)", name)
 }
 
+// renderFailoverReport prints the per-component failover columns:
+// elected leader, acting root, cumulative leader flaps, nodes still
+// lagging behind detection truth, and (when supplied by a soak phase)
+// the component's detection latency.
+func renderFailoverReport(g *graph.Graph, fp *failover.Protocol, detect map[int]int64, title string) error {
+	rep, err := churn.FailoverReport(g, 0, fp, detect)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable(title,
+		"component", "size", "has root", "leader", "acting root", "leader flaps", "lagging", "detect steps")
+	for _, c := range rep {
+		tb.AddRow(c.Label, c.Size, c.HasRoot, c.Leader, c.ActingRoot, c.Flaps, c.Lagging, c.DetectSteps)
+	}
+	return tb.Render(os.Stdout)
+}
+
 func daemonFactory(name string, seed int64) (func(int) program.Daemon, error) {
 	switch name {
 	case "central":
@@ -108,6 +136,10 @@ func run(args []string) error {
 		churnPer   = fs.Int64("churn-period", 2000, "steps between churn events (recovery window)")
 		churnDown  = fs.Int64("churn-down", 200, "steps a removed element stays down")
 		allowDis   = fs.Bool("allow-disconnect", false, "lift connectivity preservation: events may split the graph; legitimacy is per component")
+		failoverOn = fs.Bool("failover", false, "wrap the stack in the root-failover/disconnection-detection layer")
+		soakN      = fs.Int("soak", 0, "if >0, run the multi-partition soak with this many mutation phases (implies -failover)")
+		soakWall   = fs.Duration("soak-wall", 0, "wall-clock budget for the soak (0 = unbounded)")
+		leaveSplit = fs.Int("leave-split", 0, "soak: number of cuts never healed — components that never reunite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +153,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var fp *failover.Protocol
+	if *failoverOn || *soakN > 0 {
+		in, ok := p.(failover.Inner)
+		if !ok {
+			return fmt.Errorf("protocol %q cannot take the failover wrapper", *proto)
+		}
+		fp = failover.New(g, in, 0)
+		p = fp
+	}
 	mkDaemon, err := daemonFactory(*dmn, *seed)
 	if err != nil {
 		return err
@@ -128,6 +169,52 @@ func run(args []string) error {
 	budget := *budgetFlag
 	if budget <= 0 {
 		budget = int64(50000 * (g.N() + g.M()))
+	}
+
+	if *soakN > 0 {
+		sys := program.NewSystem(p, mkDaemon(0))
+		run := &churn.Runner{G: g, Sys: sys, Root: 0}
+		st, err := run.Soak(fp, churn.SoakConfig{
+			Seed:       *seed,
+			Phases:     *soakN,
+			StepBudget: budget,
+			WallBudget: *soakWall,
+			LeaveSplit: *leaveSplit,
+		})
+		if err != nil {
+			return err
+		}
+		tb := trace.NewTable(
+			fmt.Sprintf("soak: %s (failover) on %s, %d phases, leave-split=%d, daemon=%s",
+				*proto, g, *soakN, *leaveSplit, *dmn),
+			"phase", "op", "components", "detect steps", "settle steps", "settle moves",
+			"acting roots", "leader flaps")
+		for _, ph := range st.Phases {
+			tb.AddRow(ph.Index, ph.Op, ph.Components, ph.DetectSteps, ph.SettleSteps,
+				ph.SettleMoves, ph.ActingRoots, ph.LeaderFlaps)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		var detect map[int]int64
+		if len(st.Phases) > 0 {
+			detect = st.Phases[len(st.Phases)-1].Detect
+		}
+		if err := renderFailoverReport(g, fp, detect,
+			fmt.Sprintf("soak end state: %d components, %d steps, %d deltas, elapsed %s",
+				st.FinalComponents, st.TotalSteps, st.Deltas, st.Elapsed.Round(1000000))); err != nil {
+			return err
+		}
+		if st.Truncated {
+			fmt.Println("soak: wall budget expired before all mutation phases ran")
+		}
+		if !st.Ok() {
+			for _, v := range st.Violations {
+				fmt.Fprintln(os.Stderr, "soak violation:", v)
+			}
+			return fmt.Errorf("soak saw %d invariant violations", len(st.Violations))
+		}
+		return nil
 	}
 
 	if *churnN > 0 {
@@ -203,6 +290,15 @@ func run(args []string) error {
 		}
 		if err := tb.Render(os.Stdout); err != nil {
 			return err
+		}
+		if fp != nil && *allowDis {
+			// Split telemetry, failover view: per-component acting
+			// roots and the leader-flap totals the whole campaign
+			// accumulated. Detection latency comes from soak phases
+			// (-soak), so it is unknown (−1) here.
+			if err := renderFailoverReport(g, fp, nil, "failover split telemetry (post-campaign)"); err != nil {
+				return err
+			}
 		}
 		if !st.Final.Converged {
 			return fmt.Errorf("churn campaign exhausted %d steps without final legitimacy", budget)

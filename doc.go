@@ -131,6 +131,60 @@
 // k-way split re-evaluates the boundary balls plus the renamed orphan
 // regions, not Θ(n) per heal.
 //
+// # Root failover
+//
+// Orphan components need not stay dead weight. The internal/failover
+// package wraps any rooted stack (all five implement the
+// program.Rootable binding) in a self-stabilizing
+// disconnection-detection and acting-root layer, giving each orphan
+// component a four-stage lifecycle:
+//
+//   - Detect: every node maintains a bounded root-distance/epoch pair
+//     (root at (0, graph.RootEpoch); everyone else one past the
+//     closest live neighbour, saturating at n). Disconnection makes
+//     the distances count up to the bound — the classic
+//     count-to-infinity, here terminating because the bound is the
+//     component-size cap — and a node whose distance saturates flips
+//     its local Orphaned() predicate. Detection reads only own and
+//     neighbour variables; agreement with graph.ComponentOf truth is
+//     a convergence property (DetectionAccurate), proven differential
+//     in the failover tests and soaked under churn.
+//   - Elect: orphaned nodes run a flooding max-id election with
+//     distance-bounded decay (the protocol-level promotion of
+//     apps.ElectComponentRoots), so each orphan component converges
+//     on its highest surviving id as acting root.
+//   - Act: the wrapper implements program.RootAuthority — IsRoot(v)
+//     is the fixed root, or an orphaned self-elected winner — and the
+//     inner stack re-anchors at the acting roots: the circulator
+//     circulates per component, trees re-root, DFTNO renames, STNO
+//     re-weighs. Per-component legitimacy under acting roots is
+//     ActingLegitimate, decided O(1) by the wrapper's witness
+//     conjoined with the inner stack's (witness ≡ scan is a soak
+//     invariant at every settle point).
+//   - Abdicate: a heal reconnects the orphan component, distances
+//     deflate below the bound, Orphaned() clears, IsRoot flips back
+//     to the fixed root alone (RootsVersion bumps; the inner stacks'
+//     ensure* hooks re-derive their reference state), and the acting
+//     root's state washes out — lockstep differential tests drive
+//     merges of two acting roots and heals landing mid-election.
+//
+// Acting-root staleness contract: inner stacks never cache
+// IsRoot-derived facts across RootsVersion bumps; every Legitimate()
+// and WitnessLegitimate() entry point re-checks the bound authority's
+// RootsVersion first, so a verdict flip invalidates reference naming
+// before any predicate reads it.
+//
+// The soak engine (churn.Runner.Soak; stabsim -soak) proves the
+// lifecycle under long-lived schedules: overlapping partition cuts,
+// partial heals, components that never reunite (LeaveSplit), and
+// crash/revive of the fixed root itself (fault.Churn's CrashRoot knob
+// drives the same event in fault campaigns), with per-phase
+// detection-latency measurement and invariant checks — no
+// false-orphan flaps after detection settles, exactly one acting root
+// per component, witness ≡ scan at every settle. Experiment T15
+// records detection latency and re-anchoring cost against the global
+// restart the failover replaces.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;
 // the runnable entry points are the programs in cmd/ and examples/.

@@ -211,7 +211,12 @@ func ElectHirschbergSinclair(g *graph.Graph, ids []int) (leader graph.NodeID, me
 // becomes that component's root. This is the degradation path for
 // partition tolerance — a component that lost the protocol root can
 // locally agree on a stand-in without any global knowledge, at
-// O(m·diam) messages per component (counted synchronously).
+// O(m·diam) messages per component (counted synchronously). The
+// self-stabilizing, guarded-command promotion of this election is the
+// acting-root layer in internal/failover, whose (lid, ldist) flood
+// converges to the same max-id winner per orphan component; this
+// message-passing version stays the engine-side oracle
+// (churn.ComponentReport) those acting roots are audited against.
 //
 // ids maps node → id; nil means "use the NodeID" (distinct by
 // construction). Live nodes must carry distinct ids. Returns the

@@ -10,16 +10,28 @@ import (
 // ComponentStatus describes one live component at an instant of a
 // churn run: its label, size, whether it contains the protocol root,
 // and — for the components that do not (the detected orphan state) —
-// a locally elected stand-in leader. The paper's model has no root
-// failover, so the stand-in is measurement/bootstrap data, not a
-// protocol variable: orphan components quiesce under the per-component
-// legitimacy predicates and the stand-in identifies who would re-seed
-// them if the operator promoted one.
+// a locally elected stand-in leader. In the paper's model the
+// stand-in is measurement/bootstrap data, not a protocol variable:
+// orphan components quiesce under the per-component legitimacy
+// predicates. With the internal/failover wrapper the election is a
+// protocol variable — the acting root — and FailoverReport adds the
+// wrapper's view to the same rows.
 type ComponentStatus struct {
 	Label   int
 	Size    int
 	HasRoot bool
 	Leader  graph.NodeID
+
+	// Failover columns, filled by FailoverReport (graph.None / zero
+	// from plain ComponentReport): the effective root the failover
+	// wrapper has acting for the component, the cumulative acting-root
+	// promotions its nodes have seen, how many nodes' Orphaned
+	// verdicts still disagree with ground truth, and the component's
+	// detection latency in steps (−1 when unknown).
+	ActingRoot  graph.NodeID
+	Flaps       int64
+	Lagging     int
+	DetectSteps int64
 }
 
 // ComponentReport enumerates the live components of g, electing a
@@ -38,12 +50,64 @@ func ComponentReport(g *graph.Graph, root graph.NodeID) ([]ComponentStatus, erro
 	out := make([]ComponentStatus, 0, len(leaders))
 	for label, leader := range leaders {
 		out = append(out, ComponentStatus{
-			Label:   label,
-			Size:    g.ComponentSize(label),
-			HasRoot: label == rootComp,
-			Leader:  leader,
+			Label:       label,
+			Size:        g.ComponentSize(label),
+			HasRoot:     label == rootComp,
+			Leader:      leader,
+			ActingRoot:  graph.None,
+			DetectSteps: -1,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out, nil
+}
+
+// FailoverReport is ComponentReport plus the failover wrapper's view:
+// the acting root per component (graph.None when the component has
+// none or more than one — both transients), the cumulative leader
+// flap count across its nodes, and how many nodes still disagree with
+// OrphanTruth. detect, when non-nil, supplies per-component detection
+// latencies keyed by component label (as measured by Soak phases);
+// missing labels stay at −1.
+func FailoverReport(g *graph.Graph, root graph.NodeID, p Failover, detect map[int]int64) ([]ComponentStatus, error) {
+	out, err := ComponentReport(g, root)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[int]*ComponentStatus, len(out))
+	rootsSeen := make(map[int]int, len(out))
+	for i := range out {
+		idx[out[i].Label] = &out[i]
+	}
+	for v := 0; v < g.N(); v++ {
+		id := graph.NodeID(v)
+		if !g.Alive(id) {
+			continue
+		}
+		label := g.ComponentOf(id)
+		c, ok := idx[label]
+		if !ok {
+			continue
+		}
+		c.Flaps += p.FlapCount(id)
+		if p.Orphaned(id) != p.OrphanTruth(id) {
+			c.Lagging++
+		}
+		if p.IsRoot(id) {
+			rootsSeen[label]++
+			if rootsSeen[label] == 1 {
+				c.ActingRoot = id
+			} else {
+				c.ActingRoot = graph.None // multiple acting roots mid-merge
+			}
+		}
+	}
+	if detect != nil {
+		for label, d := range detect {
+			if c, ok := idx[label]; ok {
+				c.DetectSteps = d
+			}
+		}
+	}
 	return out, nil
 }

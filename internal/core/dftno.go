@@ -43,6 +43,8 @@ type DFTNO struct {
 	g       *graph.Graph
 	sub     TokenSubstrate
 	modulus int
+	auth    program.RootAuthority // nil ⇒ the substrate's fixed root anchors the reference
+	authVer uint64                // RootsVersion the reference naming was derived at
 
 	eta []int
 	max []int
@@ -92,6 +94,7 @@ var (
 	_ program.ActionNamer   = (*DFTNO)(nil)
 	_ program.Influencer    = (*DFTNO)(nil)
 	_ program.TopologyAware = (*DFTNO)(nil)
+	_ program.Rootable      = (*DFTNO)(nil)
 	_ token.Events          = (*DFTNO)(nil)
 )
 
@@ -181,30 +184,57 @@ func NewDFTNO(g *graph.Graph, sub TokenSubstrate, modulus int) (*DFTNO, error) {
 // holds, so stale positions compare unequal.
 func (d *DFTNO) rebuildReference() bool {
 	n := d.g.N()
-	order, parent := graph.DFSPreorder(d.g, d.sub.Root())
 	names := make([]int, n)
+	maxSub := make([]int, n)
+	parent := make([]graph.NodeID, n)
 	for v := range names {
-		names[v] = -1
-	}
-	for idx, v := range order {
-		names[v] = idx
+		names[v], maxSub[v], parent[v] = -1, -1, graph.None
 	}
 	size := make([]int, n)
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		size[v]++
-		if p := parent[v]; p != graph.None {
-			size[p] += size[v]
+	runRoot := func(root graph.NodeID) {
+		if names[root] >= 0 {
+			// A second effective root inside an already-traversed
+			// component (transient multi-root configuration): keep the
+			// first traversal's naming; the circulator's own multi-root
+			// veto keeps the composed predicate false until the
+			// authority settles on one root per component.
+			return
+		}
+		order, par := graph.DFSPreorder(d.g, root)
+		for idx, v := range order {
+			names[v] = idx
+			if p := par[v]; p != graph.None {
+				parent[v] = p
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			size[v]++
+			if p := par[v]; p != graph.None {
+				size[p] += size[v]
+			}
+		}
+		for _, v := range order {
+			maxSub[v] = names[v] + size[v] - 1
 		}
 	}
-	maxSub := make([]int, n)
-	for v := 0; v < n; v++ {
-		maxSub[v] = names[v] + size[v] - 1
+	if d.auth == nil {
+		runRoot(d.sub.Root())
+	} else {
+		// Per-component preorders from every effective root, each
+		// naming its component 0..|C|−1 — consistent with OnRootStart
+		// naming an acting root 0 when it regenerates the token.
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			if d.g.Alive(id) && d.auth.IsRoot(id) {
+				runRoot(id)
+			}
+		}
 	}
 	changed := len(names) != len(d.refNames)
 	if !changed {
 		for v := range names {
-			if names[v] != d.refNames[v] {
+			if names[v] != d.refNames[v] || maxSub[v] != d.maxSub[v] {
 				changed = true
 				break
 			}
@@ -212,6 +242,39 @@ func (d *DFTNO) rebuildReference() bool {
 	}
 	d.refNames, d.maxSub, d.refParent = names, maxSub, parent
 	return changed
+}
+
+// BindRootAuthority implements program.Rootable: the reference naming
+// re-anchors at the authority's effective roots (one preorder per
+// rooted component), and the binding is forwarded to the substrate so
+// the circulation itself restarts from the same roots. A nil binding
+// keeps the fixed-root naming bit-identical.
+func (d *DFTNO) BindRootAuthority(a program.RootAuthority) {
+	if r, ok := d.sub.(program.Rootable); ok {
+		r.BindRootAuthority(a)
+	}
+	d.auth = a
+	if a != nil {
+		d.authVer = a.RootsVersion()
+	}
+	if d.rebuildReference() {
+		d.wit.Invalidate()
+	}
+}
+
+// ensureRef re-derives the reference naming when the bound authority's
+// root set has moved since the last derivation. Root flips rewrite no
+// node state, so nothing else invalidates the witness counters — every
+// legitimacy decision funnels through here first.
+func (d *DFTNO) ensureRef() {
+	if d.auth == nil || d.authVer == d.auth.RootsVersion() {
+		return
+	}
+	d.authVer = d.auth.RootsVersion()
+	d.RefRebuilds++
+	if d.rebuildReference() {
+		d.wit.Invalidate()
+	}
 }
 
 // expectedMax returns the Max value the ideal execution holds at v
@@ -428,6 +491,7 @@ func (d *DFTNO) positionOK(v graph.NodeID) bool {
 // component (the substrate quiesces there per its own predicate, then
 // EdgeLabel fires at most once per node), so closure holds.
 func (d *DFTNO) Legitimate() bool {
+	d.ensureRef()
 	if !d.sub.Legitimate() {
 		return false
 	}
@@ -506,6 +570,9 @@ func (d *DFTNO) TopologyChanged(dlt graph.Delta, buf []graph.NodeID) []graph.Nod
 	}
 	if rebuild {
 		d.RefRebuilds++
+		if d.auth != nil {
+			d.authVer = d.auth.RootsVersion()
+		}
 		if d.rebuildReference() {
 			d.wit.Invalidate()
 		}

@@ -50,6 +50,8 @@ type STNO struct {
 	g       *graph.Graph
 	sub     TreeSubstrate
 	modulus int
+	auth    program.RootAuthority // nil ⇒ the substrate's fixed root names itself 0
+	authVer uint64                // RootsVersion the witness counters were armed under
 
 	weight []int
 	eta    []int
@@ -80,6 +82,7 @@ var (
 	_ program.ActionNamer   = (*STNO)(nil)
 	_ program.Influencer    = (*STNO)(nil)
 	_ program.TopologyAware = (*STNO)(nil)
+	_ program.Rootable      = (*STNO)(nil)
 )
 
 // NewSTNO layers the orientation protocol over sub. modulus is N (0
@@ -151,6 +154,45 @@ func (s *STNO) Labeling() *sod.Labeling {
 	return l
 }
 
+// isRoot is the effective-root test STNO's naming rules anchor at: a
+// root takes name 0 and owns no parent slot. Without a bound
+// authority it is the substrate's fixed root, bit-identical to the
+// pre-failover behaviour.
+func (s *STNO) isRoot(v graph.NodeID) bool {
+	if s.auth == nil {
+		return v == s.sub.Root()
+	}
+	return s.g.Alive(v) && s.auth.IsRoot(v)
+}
+
+// BindRootAuthority implements program.Rootable: the binding is
+// forwarded to the tree substrate (which re-anchors its reference
+// structure) and recorded here so expectedEta names every effective
+// root 0. The witness counters are invalidated — a root flip changes
+// clause verdicts without touching any node.
+func (s *STNO) BindRootAuthority(a program.RootAuthority) {
+	if r, ok := s.sub.(program.Rootable); ok {
+		r.BindRootAuthority(a)
+	}
+	s.auth = a
+	if a != nil {
+		s.authVer = a.RootsVersion()
+	}
+	s.wit.Invalidate()
+}
+
+// ensureAuth invalidates the witness counters when the bound
+// authority's root set moved since they were armed; every legitimacy
+// decision funnels through here first (root flips rewrite no node
+// state, so nothing else re-arms the counters).
+func (s *STNO) ensureAuth() {
+	if s.auth == nil || s.authVer == s.auth.RootsVersion() {
+		return
+	}
+	s.authVer = s.auth.RootsVersion()
+	s.wit.Invalidate()
+}
+
 // children returns D_v in port order, reusing the internal buffer.
 func (s *STNO) children(v graph.NodeID) []graph.NodeID {
 	s.childBuf = spantree.Children(s.g, s.sub, v, s.childBuf[:0])
@@ -170,7 +212,7 @@ func (s *STNO) expectedWeight(v graph.NodeID) int {
 // (Start_{A_v}[v]); ok is false when v is not the root and has no
 // valid parent. The root's name is 0.
 func (s *STNO) expectedEta(v graph.NodeID) (int, bool) {
-	if v == s.sub.Root() {
+	if s.isRoot(v) {
 		return 0, true
 	}
 	p := s.sub.Parent(v)
@@ -325,6 +367,7 @@ func (s *STNO) ActionName(a program.ActionID) string {
 // equations force the true subtree sizes, the range distribution then
 // forces the preorder naming (SP1), and the label equations force SP2.
 func (s *STNO) Legitimate() bool {
+	s.ensureAuth()
 	if !s.sub.Stable() {
 		return false
 	}

@@ -56,8 +56,11 @@ func (d *DFTNO) WitnessRefresh(v graph.NodeID) {
 	d.wit.Refresh(v, d.dftnoViolates(v))
 }
 
-// WitnessLegitimate implements program.Witness.
+// WitnessLegitimate implements program.Witness. ensureRef first: an
+// IsRoot flip under a bound authority re-anchors the reference naming
+// without touching any node, invalidating the counters.
 func (d *DFTNO) WitnessLegitimate() bool {
+	d.ensureRef()
 	if !d.wit.Valid() {
 		d.WitnessReset()
 	}
@@ -98,8 +101,10 @@ func (s *STNO) WitnessRefresh(v graph.NodeID) {
 	s.wit.Refresh(v, s.stnoViolates(v))
 }
 
-// WitnessLegitimate implements program.Witness.
+// WitnessLegitimate implements program.Witness; ensureAuth as for
+// DFTNO's ensureRef.
 func (s *STNO) WitnessLegitimate() bool {
+	s.ensureAuth()
 	if !s.wit.Valid() {
 		s.WitnessReset()
 	}

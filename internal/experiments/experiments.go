@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"T12", "scheduler — incremental legitimacy witness vs O(n) Legitimate() scan", T12WitnessLegitimacy},
 		{"T13", "dynamic topology — localized ApplyDelta invalidation and churn recovery", T13Churn},
 		{"T14", "partition tolerance — per-component convergence while split, heal-time merge vs partition count", T14PartitionHeal},
+		{"T15", "root failover — disconnection detection latency and acting-root re-anchoring vs orphan size", T15Failover},
 	}
 }
 

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/daemon"
+	"netorient/internal/failover"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/trace"
+)
+
+// T15Failover measures the root-failover layer end to end: a bridge
+// cut orphans a size-k tail, and the orphan must *learn* it is
+// disconnected from local variables ("detect steps": steps until
+// every node's Orphaned verdict matches component truth), elect an
+// acting root and re-anchor to per-component legitimacy ("failover
+// steps" is the whole cut→legitimate trajectory), then abdicate on
+// heal ("heal steps"). The comparison column is the operator
+// alternative failover replaces — a global restart: the same cut on
+// an identical system followed by whole-network randomization and
+// re-stabilization ("restart steps"). "failover speedup" is
+// restart/failover; the regression gate guards it, so the localized
+// re-anchoring path collapsing into global-restart cost fails CI.
+// Both sides are seeded deterministic step counts, independent of
+// hardware.
+func T15Failover(cfg Config) (*trace.Table, error) {
+	tb := trace.NewTable(
+		"T15 — root failover: detection latency and local re-anchoring vs orphan component size (failover over DFTNO over the circulator, central daemon)",
+		"graph", "n", "orphan size",
+		"detect steps", "failover steps", "heal steps", "restart steps", "failover speedup")
+	tails := []int{4, 8, 16}
+	if cfg.Quick {
+		tails = tails[:1]
+	}
+	for _, k := range tails {
+		if err := t15Row(cfg, tb, 24, k); err != nil {
+			return nil, fmt.Errorf("T15 tail %d: %w", k, err)
+		}
+	}
+	return tb, nil
+}
+
+func t15Row(cfg Config, tb *trace.Table, clique, tail int) error {
+	mk := func() (*graph.Graph, *failover.Protocol, *program.System, error) {
+		g := graph.Lollipop(clique, tail)
+		in, err := newDFTNO(g, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		p := failover.New(g, in, 0)
+		sys := program.NewSystem(p, daemon.NewCentral(cfg.Seed))
+		// Constructed legitimate; arm the witness and circulate a while
+		// so the cut lands mid-round, not at a convenient rest point.
+		if _, err := sys.RunUntilLegitimate(10); err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := sys.RunUntil(func() bool { return false }, 200); err != nil {
+			return nil, nil, nil, err
+		}
+		return g, p, sys, nil
+	}
+	bridge := graph.NodeID(clique) // lollipop tail hangs off node 0 via 0–clique
+
+	// Failover path: cut, detect, re-anchor, heal.
+	g, p, sys, err := mk()
+	if err != nil {
+		return err
+	}
+	d, err := g.RemoveEdge(0, bridge)
+	if err != nil {
+		return err
+	}
+	sys.ApplyDelta(d)
+	detRes, err := sys.RunUntil(p.DetectionAccurate, stepBudget(g))
+	if err != nil || !detRes.Converged {
+		return fmt.Errorf("detection did not converge: %v", err)
+	}
+	legRes, err := sys.RunUntilLegitimate(stepBudget(g))
+	if err != nil || !legRes.Converged {
+		return fmt.Errorf("no per-component legitimacy after cut: %v", err)
+	}
+	failSteps := detRes.Steps + legRes.Steps
+	if failSteps < 1 {
+		failSteps = 1
+	}
+	dh, err := g.AddEdge(0, bridge)
+	if err != nil {
+		return err
+	}
+	sys.ApplyDelta(dh)
+	healRes, err := sys.RunUntilLegitimate(stepBudget(g))
+	if err != nil || !healRes.Converged {
+		return fmt.Errorf("no recovery after heal: %v", err)
+	}
+
+	// Restart path: identical cut, then the blunt operator move —
+	// randomize everything and re-stabilize the whole network.
+	g2, p2, sys2, err := mk()
+	if err != nil {
+		return err
+	}
+	d2, err := g2.RemoveEdge(0, bridge)
+	if err != nil {
+		return err
+	}
+	sys2.ApplyDelta(d2)
+	p2.Randomize(rand.New(rand.NewSource(cfg.Seed + int64(tail))))
+	sys2.Invalidate()
+	restartRes, err := sys2.RunUntilLegitimate(stepBudget(g2))
+	if err != nil || !restartRes.Converged {
+		return fmt.Errorf("restart baseline did not converge: %v", err)
+	}
+
+	tb.AddRow(fmt.Sprintf("lollipop:%d:%d", clique, tail), g.N(), tail,
+		detRes.Steps, failSteps, healRes.Steps, restartRes.Steps,
+		float64(restartRes.Steps)/float64(failSteps))
+	return nil
+}

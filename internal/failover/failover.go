@@ -1,0 +1,594 @@
+// Package failover layers self-stabilizing disconnection detection
+// and root failover over any rootable protocol stack.
+//
+// The paper's algorithms assume one distinguished root processor. A
+// partition strands components without one (the token circulation
+// quiesces, the trees freeze), and a root crash strands the whole
+// network. This package closes that gap with a composable wrapper
+// running two classic self-stabilizing layers alongside the wrapped
+// stack:
+//
+//   - Detection: every node maintains a bounded root-distance
+//     (dist ∈ 0..N) plus a root-epoch it inherits down the distance
+//     gradient. The fixed root anchors (0, RootEpoch); everyone else
+//     wants min-neighbour+1. In a component without the live root the
+//     distances count up to the bound N (they cannot exceed the
+//     component size when a root is present), so Orphaned(v) ≔
+//     dist_v = N converges to the ground truth "v's component does
+//     not contain the live fixed root" — a purely local predicate of
+//     v's own variable.
+//
+//   - Election: every node maintains a leader candidate (lid, ldist),
+//     the flooding max-id election of apps.ElectComponentRoots recast
+//     as a guarded-command layer. Own id at distance 0 is always a
+//     candidate; a neighbour's strictly larger lid is adopted at
+//     ldist+1 while ldist+1 < N, so stale ids of dead leaders decay by
+//     counting up (the same bound as detection). At the fixpoint lid_v
+//     is the largest live id in v's component.
+//
+// An orphaned node that elects itself — Orphaned(v) ∧ lid_v = v — is
+// an acting root. The wrapper exposes the verdict to the wrapped stack
+// through program.RootAuthority: the stack re-anchors its circulation
+// or tree at the acting root and converges to component-local
+// legitimacy (ActingLegitimate). On heal the distance gradient from
+// the true root floods back, Orphaned flips off, the acting root
+// abdicates, and the stack re-converges on the merged component —
+// acting-root state washes out because IsRoot is derived, never
+// stored.
+package failover
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// Inner is what the wrapper needs from the wrapped stack: the
+// guarded-command behaviour, a legitimacy predicate, and the
+// root-authority binding point.
+type Inner interface {
+	program.Protocol
+	program.Legitimacy
+	program.Rootable
+}
+
+// The wrapper's own actions, offset above every stack's id space
+// (substrates use small ids, orientation layers 1<<20).
+const (
+	// ActDetect: (dist, epoch) := the root-distance rule.
+	ActDetect program.ActionID = 1<<21 + iota
+	// ActElect: (lid, ldist) := the max-id flooding rule.
+	ActElect
+)
+
+// Protocol is the composed stack: detection + election + the wrapped
+// protocol, bound to this wrapper as its root authority.
+type Protocol struct {
+	g    *graph.Graph
+	in   Inner
+	root graph.NodeID
+
+	dist  []int
+	epoch []uint64
+	lid   []int
+	ldist []int
+
+	// rootsVer is the program.RootAuthority staleness key: bumped on
+	// every IsRoot verdict flip an Execute causes, and conservatively
+	// on every node-liveness delta (which can flip verdicts without
+	// any Execute: the fixed root dying, the bound N growing).
+	rootsVer uint64
+
+	// LeaderFlaps counts acting-root promotions (IsRoot flipping true
+	// at a non-fixed-root node); flaps records them per node so churn
+	// reports can aggregate flap counts per component.
+	LeaderFlaps int64
+	flaps       []int64
+
+	wit   program.ViolationCounter
+	inWit program.Witness // type-asserted from in; nil ⇒ fall back to in.Legitimate
+}
+
+// Compile-time interface compliance.
+var (
+	_ program.Protocol      = (*Protocol)(nil)
+	_ program.Legitimacy    = (*Protocol)(nil)
+	_ program.Snapshotter   = (*Protocol)(nil)
+	_ program.Randomizer    = (*Protocol)(nil)
+	_ program.NodeCorruptor = (*Protocol)(nil)
+	_ program.SpaceMeter    = (*Protocol)(nil)
+	_ program.ActionNamer   = (*Protocol)(nil)
+	_ program.Influencer    = (*Protocol)(nil)
+	_ program.TopologyAware = (*Protocol)(nil)
+	_ program.Witness       = (*Protocol)(nil)
+	_ program.RootAuthority = (*Protocol)(nil)
+)
+
+// New wraps inner, anchored at the fixed root. The wrapper's own
+// variables are initialised to their fixpoint for the current graph
+// (distances up from the bound, candidates from own ids), so wrapping
+// a legitimate stack on a connected graph yields a legitimate composed
+// system; use Randomize for adversarial starts. Binding the authority
+// is the last step — on a connected graph the effective root set is
+// exactly {root}, so the stack's reference structures are unchanged.
+func New(g *graph.Graph, inner Inner, root graph.NodeID) *Protocol {
+	n := g.N()
+	p := &Protocol{
+		g:     g,
+		in:    inner,
+		root:  root,
+		dist:  make([]int, n),
+		epoch: make([]uint64, n),
+		lid:   make([]int, n),
+		ldist: make([]int, n),
+		flaps: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		p.dist[v] = p.cap()
+		p.lid[v] = v
+	}
+	p.stabilizeOwn()
+	p.inWit, _ = inner.(program.Witness)
+	inner.BindRootAuthority(p)
+	return p
+}
+
+// stabilizeOwn runs synchronous sweeps of both layers' assignment
+// rules to their fixpoint — O(diam) sweeps from the constructor's
+// monotone start, O(N) worst case.
+func (p *Protocol) stabilizeOwn() {
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < p.g.N(); v++ {
+			id := graph.NodeID(v)
+			if !p.g.Alive(id) {
+				continue
+			}
+			if d, e := p.desiredDetect(id); d != p.dist[v] || e != p.epoch[v] {
+				p.dist[v], p.epoch[v] = d, e
+				changed = true
+			}
+			if l, ld := p.desiredElect(id); l != p.lid[v] || ld != p.ldist[v] {
+				p.lid[v], p.ldist[v] = l, ld
+				changed = true
+			}
+		}
+	}
+}
+
+// cap is the agreed network-size bound N the counters count up to: no
+// node in a component containing the live root is N or more hops from
+// it, so dist = cap certifies orphanhood once detection settles.
+func (p *Protocol) cap() int { return p.g.N() }
+
+// clampDist maps a (possibly corrupted) stored distance into 0..cap.
+func (p *Protocol) clampDist(d int) int {
+	if d < 0 {
+		return 0
+	}
+	if c := p.cap(); d > c {
+		return c
+	}
+	return d
+}
+
+// desiredDetect is the detection rule at v: the live fixed root
+// anchors (0, its liveness epoch); everyone else takes the smallest
+// live-neighbour distance plus one — inheriting that neighbour's epoch
+// — or saturates at the bound.
+func (p *Protocol) desiredDetect(v graph.NodeID) (int, uint64) {
+	if v == p.root {
+		return 0, p.g.RootEpoch(v)
+	}
+	c := p.cap()
+	m, me := c, uint64(0)
+	for _, q := range p.g.Neighbors(v) {
+		if q == graph.None || !p.g.Alive(q) {
+			continue
+		}
+		if dq := p.clampDist(p.dist[q]); dq < m {
+			m, me = dq, p.epoch[q]
+		}
+	}
+	if m+1 < c {
+		return m + 1, me
+	}
+	return c, 0
+}
+
+// desiredElect is the election rule at v: own id at distance 0 always
+// competes; a neighbour's strictly larger candidate wins at ldist+1
+// while that stays below the bound (stale ids of dead leaders decay by
+// counting up); among equal candidates the shortest distance wins.
+func (p *Protocol) desiredElect(v graph.NodeID) (int, int) {
+	best, bd := int(v), 0
+	c := p.cap()
+	for _, q := range p.g.Neighbors(v) {
+		if q == graph.None || !p.g.Alive(q) {
+			continue
+		}
+		lq, dq := p.lid[q], p.clampDist(p.ldist[q])+1
+		if dq >= c {
+			continue
+		}
+		if lq > best || (lq == best && dq < bd) {
+			best, bd = lq, dq
+		}
+	}
+	return best, bd
+}
+
+// Orphaned reports node v's own verdict on whether its component has
+// lost the fixed root: its bounded distance counter has saturated. A
+// function of v's own variable only, so a flip influences guards no
+// further than the wrapper's declared balls.
+func (p *Protocol) Orphaned(v graph.NodeID) bool { return p.clampDist(p.dist[v]) >= p.cap() }
+
+// IsRoot implements program.RootAuthority: the live fixed root, or an
+// orphaned node that elected itself.
+func (p *Protocol) IsRoot(v graph.NodeID) bool {
+	if !p.g.Alive(v) {
+		return false
+	}
+	return v == p.root || (p.Orphaned(v) && p.lid[v] == int(v))
+}
+
+// RootsVersion implements program.RootAuthority.
+func (p *Protocol) RootsVersion() uint64 { return p.rootsVer }
+
+// Root returns the fixed root the wrapper is anchored at.
+func (p *Protocol) Root() graph.NodeID { return p.root }
+
+// Inner returns the wrapped stack.
+func (p *Protocol) Inner() Inner { return p.in }
+
+// ActingRoots returns the current effective roots in ascending order.
+func (p *Protocol) ActingRoots() []graph.NodeID {
+	var out []graph.NodeID
+	for v := 0; v < p.g.N(); v++ {
+		if p.IsRoot(graph.NodeID(v)) {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// FlapCount returns how many times node v was promoted to acting
+// root (telemetry for churn reports; not protocol state).
+func (p *Protocol) FlapCount(v graph.NodeID) int64 { return p.flaps[v] }
+
+// OrphanTruth is the ground truth Orphaned converges to: v is live
+// and its component does not contain the live fixed root.
+func (p *Protocol) OrphanTruth(v graph.NodeID) bool {
+	if !p.g.Alive(v) {
+		return false
+	}
+	return !p.g.Alive(p.root) || p.g.ComponentOf(v) != p.g.ComponentOf(p.root)
+}
+
+// DetectionAccurate reports whether every live node's Orphaned verdict
+// agrees with graph truth — the differential audit's settle predicate.
+func (p *Protocol) DetectionAccurate() bool {
+	for v := 0; v < p.g.N(); v++ {
+		id := graph.NodeID(v)
+		if p.g.Alive(id) && p.Orphaned(id) != p.OrphanTruth(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements program.Protocol.
+func (p *Protocol) Name() string { return "failover/" + p.in.Name() }
+
+// Graph implements program.Protocol.
+func (p *Protocol) Graph() *graph.Graph { return p.g }
+
+// Enabled implements program.Protocol.
+func (p *Protocol) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
+	buf = p.in.Enabled(v, buf)
+	if !p.g.Alive(v) {
+		return buf
+	}
+	if d, e := p.desiredDetect(v); d != p.dist[v] || e != p.epoch[v] {
+		buf = append(buf, ActDetect)
+	}
+	if l, ld := p.desiredElect(v); l != p.lid[v] || ld != p.ldist[v] {
+		buf = append(buf, ActElect)
+	}
+	return buf
+}
+
+// Execute implements program.Protocol. A wrapper move that flips v's
+// IsRoot verdict bumps the authority version (the wrapped stack's
+// reference structures re-derive lazily on their next legitimacy
+// query) and records the flap.
+func (p *Protocol) Execute(v graph.NodeID, a program.ActionID) bool {
+	switch a {
+	case ActDetect:
+		d, e := p.desiredDetect(v)
+		if d == p.dist[v] && e == p.epoch[v] {
+			return false
+		}
+		pre := p.IsRoot(v)
+		p.dist[v], p.epoch[v] = d, e
+		p.noteFlip(v, pre)
+		return true
+	case ActElect:
+		l, ld := p.desiredElect(v)
+		if l == p.lid[v] && ld == p.ldist[v] {
+			return false
+		}
+		pre := p.IsRoot(v)
+		p.lid[v], p.ldist[v] = l, ld
+		p.noteFlip(v, pre)
+		return true
+	default:
+		return p.in.Execute(v, a)
+	}
+}
+
+// noteFlip bumps the authority version when v's verdict changed from
+// pre, counting promotions of non-fixed-root nodes as leader flaps.
+func (p *Protocol) noteFlip(v graph.NodeID, pre bool) {
+	post := p.IsRoot(v)
+	if post == pre {
+		return
+	}
+	p.rootsVer++
+	if post && v != p.root {
+		p.LeaderFlaps++
+		p.flaps[v]++
+	}
+}
+
+// Influence implements program.Influencer. The wrapper's own moves
+// write only v's (dist, epoch, lid, ldist), read one hop away by
+// detection/election guards — but they can also flip IsRoot(v), which
+// the wrapped stack's guards consult through substrate functions that
+// read a neighbour's derived parent or token position. The radius-2
+// ball covers both: guard holders one hop from any reader of v's
+// verdict. Inner moves delegate to the stack's own declaration (they
+// never write the wrapper's variables).
+func (p *Protocol) Influence(v graph.NodeID, a program.ActionID, buf []graph.NodeID) []graph.NodeID {
+	if a >= ActDetect {
+		return program.InfluenceBall(p.g, v, 2, buf)
+	}
+	if inf, ok := p.in.(program.Influencer); ok {
+		return inf.Influence(v, a, buf)
+	}
+	return program.InfluenceClosedNeighborhood(p.g, v, buf)
+}
+
+// ActionName implements program.ActionNamer.
+func (p *Protocol) ActionName(a program.ActionID) string {
+	switch a {
+	case ActDetect:
+		return "Detect"
+	case ActElect:
+		return "Elect"
+	}
+	return program.ActionName(p.in, a)
+}
+
+// settled reports whether both wrapper layers are at their fixpoint.
+func (p *Protocol) settled() bool {
+	for v := 0; v < p.g.N(); v++ {
+		if p.violates(graph.NodeID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Legitimate implements program.Legitimacy: the wrapper layers are at
+// their fixpoint and the wrapped stack is legitimate under the
+// authority's verdicts — which, when orphan components exist, is
+// exactly per-component local legitimacy anchored at the acting roots.
+func (p *Protocol) Legitimate() bool {
+	return p.settled() && p.in.Legitimate()
+}
+
+// ActingLegitimate is the paper-facing name for the composed
+// predicate: every component — rooted at the fixed root or at its
+// acting root — has locally converged, and detection/election agree
+// with graph truth (settled detection is truthful by the counting
+// bound). Identical to Legitimate; exported for call sites that want
+// the failover semantics spelled out.
+func (p *Protocol) ActingLegitimate() bool { return p.Legitimate() }
+
+// violates is the wrapper's per-node witness clause: a live node whose
+// detection or election variable disagrees with its rule. Reads v's
+// closed 1-hop neighbourhood only.
+func (p *Protocol) violates(v graph.NodeID) bool {
+	if !p.g.Alive(v) {
+		return false
+	}
+	if d, e := p.desiredDetect(v); d != p.dist[v] || e != p.epoch[v] {
+		return true
+	}
+	l, ld := p.desiredElect(v)
+	return l != p.lid[v] || ld != p.ldist[v]
+}
+
+// WitnessReset implements program.Witness.
+func (p *Protocol) WitnessReset() {
+	if p.inWit != nil {
+		p.inWit.WitnessReset()
+	}
+	p.wit.Reset(p.g.N(), p.violates)
+}
+
+// WitnessRefresh implements program.Witness.
+func (p *Protocol) WitnessRefresh(v graph.NodeID) {
+	if !p.wit.Valid() {
+		return
+	}
+	if p.inWit != nil {
+		p.inWit.WitnessRefresh(v)
+	}
+	p.wit.Refresh(v, p.violates(v))
+}
+
+// WitnessLegitimate implements program.Witness. The wrapper's own
+// verdict is checked first and short-circuits: while detection or
+// election is still converging there is no point paying the wrapped
+// stack's witness re-arm (root flips keep invalidating its reference
+// structures).
+func (p *Protocol) WitnessLegitimate() bool {
+	if !p.wit.Valid() {
+		p.WitnessReset()
+	}
+	if !p.wit.Zero() {
+		return false
+	}
+	if p.inWit != nil {
+		return p.inWit.WitnessLegitimate()
+	}
+	return p.in.Legitimate()
+}
+
+// TopologyChanged implements program.TopologyAware: forward to the
+// wrapped stack first, grow node-indexed arrays if the id space grew,
+// and conservatively treat every node-liveness delta as a potential
+// verdict flip — the fixed root dying or reviving, the bound N
+// growing, a RootEpoch bump — by bumping the authority version and
+// invalidating the wrapper's witness (its clauses read the bound and
+// the root's epoch). The returned ball is the radius-2 ball of the
+// touched set, matching the Influence declaration.
+func (p *Protocol) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.NodeID {
+	if ta, ok := p.in.(program.TopologyAware); ok {
+		buf = ta.TopologyChanged(d, buf)
+	}
+	if n := p.g.N(); len(p.dist) < n {
+		for len(p.dist) < n {
+			p.dist = append(p.dist, 0)
+			p.epoch = append(p.epoch, 0)
+			p.lid = append(p.lid, len(p.lid))
+			p.ldist = append(p.ldist, 0)
+			p.flaps = append(p.flaps, 0)
+		}
+		p.rootsVer++ // the bound N grew: saturated counters are no longer saturated
+		p.wit.Invalidate()
+	}
+	if d.Kind == graph.NodeAdded || d.Kind == graph.NodeRemoved {
+		p.rootsVer++
+		p.wit.Invalidate()
+	}
+	for _, v := range d.Touched {
+		buf = program.InfluenceBall(p.g, v, 2, buf)
+	}
+	return buf
+}
+
+// Snapshot implements program.Snapshotter: the wrapped stack's
+// snapshot followed by the wrapper's per-node variables. Telemetry
+// (flap counts, the authority version) is not state and is excluded,
+// keeping lockstep snapshot comparisons meaningful across systems
+// with different rebuild histories.
+func (p *Protocol) Snapshot() []byte {
+	var in []byte
+	if sn, ok := p.in.(program.Snapshotter); ok {
+		in = sn.Snapshot()
+	}
+	buf := make([]byte, 0, len(in)+10+16*p.g.N())
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(in)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, in...)
+	for v := 0; v < p.g.N(); v++ {
+		n = binary.PutVarint(tmp[:], int64(p.dist[v]))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], p.epoch[v])
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutVarint(tmp[:], int64(p.lid[v]))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutVarint(tmp[:], int64(p.ldist[v]))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// Restore implements program.Snapshotter. Restored state may hold any
+// verdict pattern, so the authority version bumps unconditionally.
+func (p *Protocol) Restore(data []byte) error {
+	inLen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < inLen {
+		return errors.New("failover: malformed snapshot header")
+	}
+	if sn, ok := p.in.(program.Snapshotter); ok {
+		if err := sn.Restore(data[n : n+int(inLen)]); err != nil {
+			return fmt.Errorf("failover: restore inner: %w", err)
+		}
+	} else if inLen != 0 {
+		return errors.New("failover: snapshot has inner bytes but inner cannot restore")
+	}
+	rest := data[n+int(inLen):]
+	getInt := func() (int, error) {
+		x, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, errors.New("failover: truncated snapshot")
+		}
+		rest = rest[n:]
+		return int(x), nil
+	}
+	for v := 0; v < p.g.N(); v++ {
+		var err error
+		if p.dist[v], err = getInt(); err != nil {
+			return err
+		}
+		e, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return errors.New("failover: truncated snapshot")
+		}
+		p.epoch[v], rest = e, rest[m:]
+		if p.lid[v], err = getInt(); err != nil {
+			return err
+		}
+		if p.ldist[v], err = getInt(); err != nil {
+			return err
+		}
+	}
+	if len(rest) != 0 {
+		return errors.New("failover: trailing snapshot bytes")
+	}
+	p.rootsVer++
+	p.wit.Invalidate()
+	return nil
+}
+
+// CorruptNode implements program.NodeCorruptor: v's wrapper variables
+// take arbitrary values of their domains (dist, ldist ∈ 0..N; lid,
+// epoch over the id/epoch spaces) on top of the stack's corruption.
+func (p *Protocol) CorruptNode(v graph.NodeID, rng *rand.Rand) {
+	if c, ok := p.in.(program.NodeCorruptor); ok {
+		c.CorruptNode(v, rng)
+	}
+	pre := p.IsRoot(v)
+	p.dist[v] = rng.Intn(p.cap() + 1)
+	p.epoch[v] = uint64(rng.Intn(4))
+	p.lid[v] = rng.Intn(p.g.N())
+	p.ldist[v] = rng.Intn(p.cap() + 1)
+	p.noteFlip(v, pre)
+}
+
+// Randomize implements program.Randomizer.
+func (p *Protocol) Randomize(rng *rand.Rand) {
+	for v := 0; v < p.g.N(); v++ {
+		p.CorruptNode(graph.NodeID(v), rng)
+	}
+}
+
+// StateBits implements program.SpaceMeter: two bounded counters, an
+// id, and an epoch word per node on top of the stack.
+func (p *Protocol) StateBits(v graph.NodeID) int {
+	bits := 2*program.Log2Ceil(p.cap()+1) + program.Log2Ceil(p.g.N()) + 64
+	if m, ok := p.in.(program.SpaceMeter); ok {
+		bits += m.StateBits(v)
+	}
+	return bits
+}

@@ -87,6 +87,13 @@ type Churn struct {
 	// become available. Protocol legitimacy is per component, so the
 	// damaged system still converges while split.
 	AllowDisconnect bool
+	// CrashRoot aims the per-trial churn.NodeCrash at the fixed root
+	// itself instead of a random non-root node. Only meaningful when
+	// the target carries a root-failover wrapper (internal/failover):
+	// without one the rooted predicates cannot re-converge while the
+	// root is down, and the trial burns its whole step budget.
+	// Requires AllowDisconnect when the root is a cut vertex.
+	CrashRoot bool
 	// PartitionSize bounds the cut-off region for churn.Partition
 	// (default n/4, min 1).
 	PartitionSize int
@@ -146,6 +153,11 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 			var err error
 			switch {
 			case c.Kind == churn.NodeCrash && !specialDown:
+				if c.CrashRoot && g.Alive(root) {
+					restore, err = churn.CrashDown(g, root, apply)
+					specialDown = true
+					break
+				}
 				pick := churn.PickCrashNode
 				if c.AllowDisconnect {
 					pick = churn.PickAnyNode

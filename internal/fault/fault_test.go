@@ -9,6 +9,7 @@ import (
 	"netorient/internal/churn"
 	"netorient/internal/core"
 	"netorient/internal/daemon"
+	"netorient/internal/failover"
 	"netorient/internal/graph"
 	"netorient/internal/program"
 	"netorient/internal/spantree"
@@ -365,5 +366,40 @@ func TestSmallFaultsRecoverNoSlowerThanFullCorruption(t *testing.T) {
 	full := run(g.N())
 	if small > 2*full+10 {
 		t.Errorf("1-fault mean recovery %.1f moves vs full-corruption %.1f — expected small ≤ ~full", small, full)
+	}
+}
+
+// TestChurnCrashRootFailover drives the CrashRoot knob: with the
+// root-failover wrapper on top of the stack, trials that crash the
+// fixed root itself still recover — the orphaned remainder re-anchors
+// at an acting root while the root is down, and the revive's heal
+// abdicates the stand-in again.
+func TestChurnCrashRootFailover(t *testing.T) {
+	t.Parallel()
+	g := graph.Lollipop(5, 4)
+	in, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := failover.New(g, in, 0)
+	out, err := Churn{
+		Trials:          4,
+		Burst:           2,
+		Kind:            churn.NodeCrash,
+		CrashRoot:       true,
+		AllowDisconnect: true,
+		DownFor:         400,
+		MaxSteps:        200000,
+		Seed:            13,
+		NewDaemon:       func(trial int) program.Daemon { return daemon.NewCentral(int64(trial)) },
+	}.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovered != out.Trials {
+		t.Fatalf("recovered %d/%d root-crash trials", out.Recovered, out.Trials)
+	}
+	if p.LeaderFlaps == 0 {
+		t.Fatal("root crashes promoted no acting root")
 	}
 }

@@ -126,6 +126,33 @@ func (g *Graph) Alive(v NodeID) bool { return g.alive == nil || g.alive[v] }
 // NAlive returns the number of live nodes.
 func (g *Graph) NAlive() int { return len(g.adj) - g.dead }
 
+// RootEpoch returns the liveness epoch of v: a counter bumped every
+// time v's liveness flips (RemoveNode kills it, AddNode revives it).
+// It is 0 for a node that has never flipped. Consumers caching facts
+// derived from a designated node's liveness must key the cache on this
+// counter, not on Alive(v) itself: a die/revive pair between two cache
+// queries restores Alive to true while the derived facts are garbage,
+// and CompVersion does not help — component labels need not change
+// when, say, a degree-one root dies. (That is the footgun this
+// accessor exists to fix.)
+func (g *Graph) RootEpoch(v NodeID) uint64 {
+	if g.liveEpoch == nil || int(v) >= len(g.liveEpoch) || v < 0 {
+		return 0
+	}
+	return g.liveEpoch[v]
+}
+
+// bumpLiveEpoch records a liveness flip at v.
+func (g *Graph) bumpLiveEpoch(v NodeID) {
+	if g.liveEpoch == nil {
+		g.liveEpoch = make([]uint64, g.N())
+	}
+	for int(v) >= len(g.liveEpoch) {
+		g.liveEpoch = append(g.liveEpoch, 0)
+	}
+	g.liveEpoch[v]++
+}
+
 // Ports returns the size of v's port space — live edges plus holes.
 // Port-indexed per-node state must be sized by Ports, not Degree.
 func (g *Graph) Ports(v NodeID) int { return len(g.adj[v]) }
@@ -224,6 +251,7 @@ func (g *Graph) AddNode() (NodeID, Delta) {
 				g.dead--
 				g.version++
 				id := NodeID(v)
+				g.bumpLiveEpoch(id)
 				g.compAddNode(id)
 				return id, Delta{
 					Kind: NodeAdded, Version: g.version,
@@ -286,6 +314,7 @@ func (g *Graph) RemoveNode(v NodeID) (Delta, error) {
 	g.alive[v] = false
 	g.dead++
 	g.version++
+	g.bumpLiveEpoch(v)
 	split := g.compRemoveNode(v, touched[1:])
 	return Delta{
 		Kind: NodeRemoved, Version: g.version,

@@ -35,10 +35,11 @@ type Graph struct {
 	ports []map[NodeID]int
 	edges int
 
-	deg     []int  // live degree per node (holes excluded)
-	alive   []bool // nil ⇒ every node alive
-	dead    int    // number of dead nodes
-	version uint64 // monotone topology version
+	deg       []int    // live degree per node (holes excluded)
+	alive     []bool   // nil ⇒ every node alive
+	dead      int      // number of dead nodes
+	version   uint64   // monotone topology version
+	liveEpoch []uint64 // nil ⇒ no liveness flip ever; per-node flip counter
 
 	// Incremental connected-component tracking (components.go). comp is
 	// nil until the first query or mutation initialises it; from then on

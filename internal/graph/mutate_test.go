@@ -295,3 +295,52 @@ func TestNamedNewFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestRootEpoch pins the liveness-epoch contract: 0 until the first
+// flip, one bump per kill and one per revival, and independence from
+// CompVersion — the footgun it exists to fix is a designated node
+// dying and reviving between two cache queries without any component
+// relabel, which leaves Alive() compare-equal while every fact derived
+// from the node's liveness is stale.
+func TestRootEpoch(t *testing.T) {
+	g := Path(3)
+	if g.RootEpoch(0) != 0 || g.RootEpoch(2) != 0 {
+		t.Fatalf("fresh graph has nonzero epochs: %d %d", g.RootEpoch(0), g.RootEpoch(2))
+	}
+	if _, err := g.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if g.RootEpoch(2) != 1 {
+		t.Fatalf("epoch after kill = %d, want 1", g.RootEpoch(2))
+	}
+	if g.RootEpoch(0) != 0 || g.RootEpoch(1) != 0 {
+		t.Fatal("kill of node 2 bumped a survivor's epoch")
+	}
+	id, _ := g.AddNode()
+	if id != 2 {
+		t.Fatalf("revive picked slot %d, want 2", id)
+	}
+	if g.Alive(2) != true || g.RootEpoch(2) != 2 {
+		t.Fatalf("epoch after revive = %d (alive=%v), want 2", g.RootEpoch(2), g.Alive(2))
+	}
+	// A die/revive pair is invisible to Alive but not to RootEpoch.
+	before := g.RootEpoch(2)
+	if _, err := g.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, d := g.AddNode(); d.Kind != NodeAdded {
+		t.Fatalf("revive delta kind %v", d.Kind)
+	}
+	if g.RootEpoch(2) != before+2 {
+		t.Fatalf("die/revive pair moved epoch %d→%d, want +2", before, g.RootEpoch(2))
+	}
+	// Appending a brand-new slot starts at epoch 0 (it never flipped).
+	id, _ = g.AddNode()
+	if int(id) != 3 || g.RootEpoch(id) != 0 {
+		t.Fatalf("fresh slot %d has epoch %d, want 0", id, g.RootEpoch(id))
+	}
+	// Out-of-range queries are safe.
+	if g.RootEpoch(-1) != 0 || g.RootEpoch(NodeID(99)) != 0 {
+		t.Fatal("out-of-range RootEpoch not zero")
+	}
+}

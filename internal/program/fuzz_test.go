@@ -6,24 +6,29 @@ import (
 
 	"netorient/internal/core"
 	"netorient/internal/daemon"
+	"netorient/internal/failover"
 	"netorient/internal/graph"
 	"netorient/internal/program"
 	"netorient/internal/token"
 )
 
 // FuzzApplyDelta feeds arbitrary op streams — daemon steps interleaved
-// with edge toggles and node crash/revive cycles — to a DFTNO stack
-// running under both schedulers, asserting the incremental runner
-// stays bit-identical to the full-scan oracle and the armed witness
-// agrees with the O(n) predicate after every delta. The stream may
-// disconnect the live graph outright (the partition scenario): edge
-// toggles are unrestricted, so splits, orphan components and heal-time
-// merges all occur; only the root is immortal. A leading byte ≡ 3
-// (mod 7) swaps the base grid for a bridgy lollipop where every tail
-// toggle is a split or a merge. Every mutation flows through
-// ApplyDelta — including ones that later reverse, since a remove/
-// re-add pair can legitimately renumber ports when older holes exist
-// below.
+// with edge toggles and node crash/revive cycles — to a
+// failover-wrapped DFTNO stack running under both schedulers,
+// asserting the incremental runner stays bit-identical to the
+// full-scan oracle and the armed witness agrees with the O(n)
+// predicate after every delta. The stream may disconnect the live
+// graph outright (the partition scenario): edge toggles are
+// unrestricted, so splits, orphan components and heal-time merges all
+// occur — and with the failover wrapper on top, every split starts a
+// disconnection-detection count-up and an acting-root election, so
+// heals land mid-election and acting roots merge whenever the stream
+// times them that way. Only the fixed root is immortal. A leading
+// byte ≡ 3 (mod 7) swaps the base grid for a bridgy lollipop where
+// every tail toggle is a split or a merge. Every mutation flows
+// through ApplyDelta — including ones that later reverse, since a
+// remove/re-add pair can legitimately renumber ports when older holes
+// exist below.
 func FuzzApplyDelta(f *testing.F) {
 	f.Add([]byte{0, 1, 4, 0, 2, 9, 0, 0, 1, 4})
 	f.Add([]byte{2, 4, 0, 0, 0, 2, 4, 1, 11, 1, 11})
@@ -35,6 +40,14 @@ func FuzzApplyDelta(f *testing.F) {
 	// crash orphaned node 5, then cut bridge {0,4} for a three-way
 	// split.
 	f.Add([]byte{10, 7, 0, 2, 4, 0, 10, 3, 0, 0})
+	// Heal mid-election: cut tail bridge {4,5} (edge 7), take three
+	// steps — the orphan {5,6} is mid detection/election — then re-add
+	// the same edge and let the interrupted election unwind.
+	f.Add([]byte{10, 7, 0, 4, 7, 0, 0})
+	// Two acting roots merge: cut {4,5} and {5,6}, orphaning 5 and 6
+	// separately (each elects itself), heal {5,6} so the two acting
+	// roots contend, then heal {4,5} back into the rooted component.
+	f.Add([]byte{10, 7, 4, 8, 0, 4, 8, 0, 0, 4, 7, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
 			data = data[:256]
@@ -44,12 +57,16 @@ func FuzzApplyDelta(f *testing.F) {
 			g = graph.Lollipop(4, 3) // bridges everywhere: splits are one toggle away
 		}
 		baseEdges := g.Edges()
-		mkStack := func() (*core.DFTNO, error) {
+		mkStack := func() (*failover.Protocol, error) {
 			sub, err := token.NewCirculator(g, 0)
 			if err != nil {
 				return nil, err
 			}
-			return core.NewDFTNO(g, sub, 0)
+			d, err := core.NewDFTNO(g, sub, 0)
+			if err != nil {
+				return nil, err
+			}
+			return failover.New(g, d, 0), nil
 		}
 		pInc, err := mkStack()
 		if err != nil {

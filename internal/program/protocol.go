@@ -182,6 +182,44 @@ type Legitimacy interface {
 	Legitimate() bool
 }
 
+// RootAuthority decides, per node, whether it currently acts as a root.
+// It is the indirection point of the root-failover layer: a rooted
+// protocol that consults an authority instead of comparing against its
+// fixed root re-anchors itself whenever the authority's verdict
+// changes — an orphan component's elected acting root starts rounds,
+// anchors reference traversals and terminates parent chains exactly
+// like the designated root does in its own component.
+//
+// Contract:
+//
+//   - IsRoot(v) must be a function of v's own protocol-visible state
+//     (plus immutable identity), so that a flip at v perturbs guards
+//     only within the influence ball of the move that caused it. The
+//     failover layer satisfies this by deriving IsRoot(v) from v's own
+//     detection and election variables.
+//   - RootsVersion is a monotone counter bumped whenever IsRoot's
+//     verdict changes for any node, letting consumers cache facts
+//     derived from the whole root set (reference traversals, target
+//     vectors, witness bucketings) and rebuild them lazily on
+//     mismatch — the same staleness discipline as graph.CompVersion.
+//   - Exactly one node per component satisfies IsRoot in any settled
+//     configuration; transient configurations may have zero or several
+//     (legitimacy predicates treat those components as not yet
+//     converged or degraded).
+type RootAuthority interface {
+	IsRoot(v graph.NodeID) bool
+	RootsVersion() uint64
+}
+
+// Rootable is implemented by rooted protocols that can defer their
+// root test to a RootAuthority. Binding a nil authority (or never
+// binding one) leaves the protocol's fixed-root behaviour bit-exact;
+// layered protocols forward the binding to their substrates so the
+// whole stack re-anchors coherently.
+type Rootable interface {
+	BindRootAuthority(a RootAuthority)
+}
+
 // Snapshotter is implemented by protocols whose configuration can be
 // captured and restored. Snapshots must be canonical: two equal
 // configurations yield identical bytes. The model checker and the

@@ -19,13 +19,18 @@ import (
 type BFSTree struct {
 	g    *graph.Graph
 	root graph.NodeID
+	auth program.RootAuthority // nil ⇒ the fixed root is the only root
 
 	dist []int
 	par  []graph.NodeID
 
 	// wantDist caches the true BFS distances for the legitimacy
-	// predicate.
+	// predicate: single-source from the fixed root, or multi-source
+	// from every effective root when an authority is bound. authVer is
+	// the RootsVersion the cache was computed at (the staleness key —
+	// an IsRoot flip re-anchors distances without touching any node).
 	wantDist []int
+	authVer  uint64
 
 	// wit is the incremental legitimacy witness (see witness.go).
 	wit program.ViolationCounter
@@ -44,6 +49,7 @@ var (
 	_ program.ActionNamer   = (*BFSTree)(nil)
 	_ program.Influencer    = (*BFSTree)(nil)
 	_ program.TopologyAware = (*BFSTree)(nil)
+	_ program.Rootable      = (*BFSTree)(nil)
 	_ Substrate             = (*BFSTree)(nil)
 )
 
@@ -64,13 +70,102 @@ func NewBFSTree(g *graph.Graph, root graph.NodeID) (*BFSTree, error) {
 		t.dist[v] = g.N()
 		t.par[v] = graph.None
 	}
-	t.wantDist, _ = graph.BFSFrom(g, root)
-	for v := range t.wantDist {
-		if t.wantDist[v] < 0 {
-			t.wantDist[v] = g.N() // unreachable ⇒ the "infinite" value
+	t.wantDist = t.computeWant()
+	return t, nil
+}
+
+// computeWant returns the reference distances the legitimacy predicate
+// compares against: BFS from the fixed root, or multi-source BFS from
+// every live effective root under a bound authority. Unreachable nodes
+// get the "infinite" value n — the locally detectable orphan state.
+func (t *BFSTree) computeWant() []int {
+	n := t.g.N()
+	if t.auth == nil {
+		want, _ := graph.BFSFrom(t.g, t.root)
+		for v := range want {
+			if want[v] < 0 {
+				want[v] = n
+			}
+		}
+		return want
+	}
+	want := make([]int, n)
+	for v := range want {
+		want[v] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if t.g.Alive(id) && t.auth.IsRoot(id) {
+			want[v] = 0
+			queue = append(queue, id)
 		}
 	}
-	return t, nil
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, q := range t.g.Neighbors(u) {
+			if q != graph.None && want[q] < 0 {
+				want[q] = want[u] + 1
+				queue = append(queue, q)
+			}
+		}
+	}
+	for v := range want {
+		if want[v] < 0 {
+			want[v] = n
+		}
+	}
+	return want
+}
+
+// setWant installs freshly computed reference distances, invalidating
+// the witness when they actually changed.
+func (t *BFSTree) setWant(want []int) {
+	changed := len(want) != len(t.wantDist)
+	if !changed {
+		for v := range want {
+			if want[v] != t.wantDist[v] {
+				changed = true
+				break
+			}
+		}
+	}
+	t.wantDist = want
+	if changed {
+		t.wit.Invalidate()
+	}
+}
+
+// ensureWant lazily recomputes the reference distances when the bound
+// authority's root set moved since they were cached.
+func (t *BFSTree) ensureWant() {
+	if t.auth == nil || t.authVer == t.auth.RootsVersion() {
+		return
+	}
+	t.authVer = t.auth.RootsVersion()
+	t.setWant(t.computeWant())
+}
+
+// BindRootAuthority implements program.Rootable: the root test in
+// desired and Parent defers to the authority, and the reference
+// distances become the multi-source BFS from the effective root set,
+// re-derived lazily whenever RootsVersion moves. A nil authority keeps
+// the fixed-root behaviour bit-exact.
+func (t *BFSTree) BindRootAuthority(a program.RootAuthority) {
+	t.auth = a
+	if a != nil {
+		t.authVer = a.RootsVersion()
+	}
+	t.setWant(t.computeWant())
+}
+
+// isRoot reports whether v currently acts as a root.
+func (t *BFSTree) isRoot(v graph.NodeID) bool {
+	if t.auth == nil {
+		return v == t.root
+	}
+	return t.auth.IsRoot(v)
 }
 
 // Name implements program.Protocol.
@@ -84,7 +179,7 @@ func (t *BFSTree) Root() graph.NodeID { return t.root }
 
 // Parent implements Substrate.
 func (t *BFSTree) Parent(v graph.NodeID) graph.NodeID {
-	if v == t.root {
+	if t.isRoot(v) {
 		return graph.None
 	}
 	return t.par[v]
@@ -107,7 +202,7 @@ func (t *BFSTree) Dist(v graph.NodeID) int { return t.dist[v] }
 
 // desired returns the distance and parent v's action would write.
 func (t *BFSTree) desired(v graph.NodeID) (int, graph.NodeID) {
-	if v == t.root {
+	if t.isRoot(v) {
 		return 0, graph.None
 	}
 	min := t.g.N()
@@ -165,8 +260,12 @@ func (t *BFSTree) Stable() bool { return t.Legitimate() }
 // disconnected graph the true distance of a node whose component lost
 // the root is the "infinite" value n with no parent — any smaller
 // value strictly increases under desired, so the orphan fixpoint is
-// all-n: a locally detectable orphan state.
+// all-n: a locally detectable orphan state. Under a bound authority
+// the reference is the multi-source BFS from the effective root set,
+// so a component with an acting root converges to *local* legitimacy
+// instead of the degraded all-n fixpoint.
 func (t *BFSTree) Legitimate() bool {
+	t.ensureWant()
 	for v := 0; v < t.g.N(); v++ {
 		if !t.g.Alive(graph.NodeID(v)) {
 			continue
@@ -203,25 +302,10 @@ func (t *BFSTree) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.Nod
 			t.dist[v] = t.g.N()
 		}
 	}
-	want, _ := graph.BFSFrom(t.g, t.root)
-	for v := range want {
-		if want[v] < 0 {
-			want[v] = t.g.N() // unreachable ⇒ the "infinite" value
-		}
+	if t.auth != nil {
+		t.authVer = t.auth.RootsVersion()
 	}
-	changed := len(want) != len(t.wantDist)
-	if !changed {
-		for v := range want {
-			if want[v] != t.wantDist[v] {
-				changed = true
-				break
-			}
-		}
-	}
-	t.wantDist = want
-	if changed {
-		t.wit.Invalidate()
-	}
+	t.setWant(t.computeWant())
 	for _, v := range d.Touched {
 		buf = program.InfluenceClosedNeighborhood(t.g, v, buf)
 	}

@@ -25,12 +25,16 @@ import (
 type DFSTree struct {
 	g    *graph.Graph
 	root graph.NodeID
+	auth program.RootAuthority // nil ⇒ the fixed root is the only root
 
 	// path[v] is v's current port-path; nil means ⊥ (invalid).
 	path [][]int
 
-	// want caches the true minimal paths for the legitimacy predicate.
-	want [][]int
+	// want caches the true minimal paths for the legitimacy predicate:
+	// one reference traversal per effective root when an authority is
+	// bound, re-derived lazily when its RootsVersion moves past authVer.
+	want    [][]int
+	authVer uint64
 
 	// wit is the incremental legitimacy witness (see witness.go).
 	wit program.ViolationCounter
@@ -46,6 +50,7 @@ var (
 	_ program.ActionNamer   = (*DFSTree)(nil)
 	_ program.Influencer    = (*DFSTree)(nil)
 	_ program.TopologyAware = (*DFSTree)(nil)
+	_ program.Rootable      = (*DFSTree)(nil)
 	_ Substrate             = (*DFSTree)(nil)
 )
 
@@ -90,6 +95,89 @@ func referencePaths(g *graph.Graph, root graph.NodeID) [][]int {
 	return want
 }
 
+// computeWant returns the reference minimal paths: from the fixed
+// root, or one traversal per live effective root when an authority is
+// bound (components are disjoint, so the traversals never collide; a
+// transient multi-root component keeps only the first root's paths and
+// therefore never reads legitimate, matching the failover contract).
+func (t *DFSTree) computeWant() [][]int {
+	if t.auth == nil {
+		return referencePaths(t.g, t.root)
+	}
+	want := make([][]int, t.g.N())
+	visited := make([]bool, t.g.N())
+	var visit func(v graph.NodeID)
+	visit = func(v graph.NodeID) {
+		for port, q := range t.g.Neighbors(v) {
+			if q == graph.None || visited[q] {
+				continue
+			}
+			visited[q] = true
+			p := make([]int, len(want[v])+1)
+			copy(p, want[v])
+			p[len(p)-1] = port
+			want[q] = p
+			visit(q)
+		}
+	}
+	for v := 0; v < t.g.N(); v++ {
+		id := graph.NodeID(v)
+		if !t.g.Alive(id) || !t.auth.IsRoot(id) || visited[v] {
+			continue
+		}
+		visited[v] = true
+		want[v] = []int{}
+		visit(id)
+	}
+	return want
+}
+
+// setWant installs freshly computed reference paths, invalidating the
+// witness when they actually changed.
+func (t *DFSTree) setWant(want [][]int) {
+	changed := len(want) != len(t.want)
+	if !changed {
+		for v := range want {
+			if !pathEqual(want[v], t.want[v]) {
+				changed = true
+				break
+			}
+		}
+	}
+	t.want = want
+	if changed {
+		t.wit.Invalidate()
+	}
+}
+
+// ensureWant lazily recomputes the reference paths when the bound
+// authority's root set moved since they were cached.
+func (t *DFSTree) ensureWant() {
+	if t.auth == nil || t.authVer == t.auth.RootsVersion() {
+		return
+	}
+	t.authVer = t.auth.RootsVersion()
+	t.setWant(t.computeWant())
+}
+
+// BindRootAuthority implements program.Rootable; a nil authority keeps
+// the fixed-root behaviour bit-exact.
+func (t *DFSTree) BindRootAuthority(a program.RootAuthority) {
+	t.auth = a
+	if a != nil {
+		t.authVer = a.RootsVersion()
+	}
+	t.setWant(t.computeWant())
+}
+
+// isRoot reports whether v currently acts as a root.
+func (t *DFSTree) isRoot(v graph.NodeID) bool {
+	if t.auth == nil {
+		return v == t.root
+	}
+	return t.auth.IsRoot(v)
+}
+
 // lexLess compares two paths; nil (⊥) is greater than everything, and
 // a proper prefix is smaller than its extensions.
 func lexLess(a, b []int) bool {
@@ -123,7 +211,7 @@ func pathEqual(a, b []int) bool {
 // empty path; every other node writes the minimal one-hop extension of
 // a neighbour's path, or ⊥ when every candidate is ⊥ or too long.
 func (t *DFSTree) desired(v graph.NodeID) []int {
-	if v == t.root {
+	if t.isRoot(v) {
 		return []int{}
 	}
 	var best []int
@@ -183,7 +271,7 @@ func (t *DFSTree) Root() graph.NodeID { return t.root }
 // extends, i.e. the neighbour q with path_v = path_q ++ [port of v at
 // q]; None while v's path is ⊥ or inconsistent.
 func (t *DFSTree) Parent(v graph.NodeID) graph.NodeID {
-	if v == t.root || t.path[v] == nil || len(t.path[v]) == 0 {
+	if t.isRoot(v) || t.path[v] == nil || len(t.path[v]) == 0 {
 		return graph.None
 	}
 	last := t.path[v][len(t.path[v])-1]
@@ -226,8 +314,9 @@ func (t *DFSTree) Path(v graph.NodeID) []int { return t.path[v] }
 func (t *DFSTree) Stable() bool { return t.Legitimate() }
 
 // Legitimate implements program.Legitimacy: every live node holds the
-// true minimal path.
+// true minimal path (per effective root under a bound authority).
 func (t *DFSTree) Legitimate() bool {
+	t.ensureWant()
 	for v := 0; v < t.g.N(); v++ {
 		if !t.g.Alive(graph.NodeID(v)) {
 			continue
@@ -254,20 +343,10 @@ func (t *DFSTree) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.Nod
 		t.path = append(t.path, make([][]int, n-len(t.path))...)
 		t.wit.Invalidate()
 	}
-	want := referencePaths(t.g, t.root)
-	changed := len(want) != len(t.want)
-	if !changed {
-		for v := range want {
-			if !pathEqual(want[v], t.want[v]) {
-				changed = true
-				break
-			}
-		}
+	if t.auth != nil {
+		t.authVer = t.auth.RootsVersion()
 	}
-	t.want = want
-	if changed {
-		t.wit.Invalidate()
-	}
+	t.setWant(t.computeWant())
 	for _, v := range d.Touched {
 		buf = program.InfluenceClosedNeighborhood(t.g, v, buf)
 	}

@@ -41,8 +41,11 @@ func (t *BFSTree) WitnessRefresh(v graph.NodeID) {
 	}
 }
 
-// WitnessLegitimate implements program.Witness.
+// WitnessLegitimate implements program.Witness. ensureWant first: an
+// IsRoot flip under a bound authority re-anchors the reference
+// distances without touching any node, invalidating the counters.
 func (t *BFSTree) WitnessLegitimate() bool {
+	t.ensureWant()
 	if !t.wit.Valid() {
 		t.WitnessReset()
 	}
@@ -69,8 +72,10 @@ func (t *DFSTree) WitnessRefresh(v graph.NodeID) {
 	}
 }
 
-// WitnessLegitimate implements program.Witness.
+// WitnessLegitimate implements program.Witness; ensureWant as for the
+// BFS tree.
 func (t *DFSTree) WitnessLegitimate() bool {
+	t.ensureWant()
 	if !t.wit.Valid() {
 		t.WitnessReset()
 	}

@@ -46,6 +46,7 @@ type Circulator struct {
 	g    *graph.Graph
 	root graph.NodeID
 	ev   Events
+	auth program.RootAuthority // nil ⇒ the fixed root is the only root
 
 	seq  []uint64
 	ptr  []int
@@ -99,6 +100,7 @@ var (
 	_ program.ActionNamer   = (*Circulator)(nil)
 	_ program.Influencer    = (*Circulator)(nil)
 	_ program.TopologyAware = (*Circulator)(nil)
+	_ program.Rootable      = (*Circulator)(nil)
 	_ Substrate             = (*Circulator)(nil)
 )
 
@@ -136,9 +138,25 @@ func (c *Circulator) Graph() *graph.Graph { return c.g }
 // Root implements Substrate.
 func (c *Circulator) Root() graph.NodeID { return c.root }
 
+// BindRootAuthority implements program.Rootable: every root comparison
+// in the guards, statements and legitimacy predicates goes through
+// isRoot, so binding an authority re-anchors the circulation at
+// whatever nodes the authority designates. A nil authority (the
+// default) keeps the fixed-root behaviour bit-exact.
+func (c *Circulator) BindRootAuthority(a program.RootAuthority) { c.auth = a }
+
+// isRoot reports whether v currently acts as a root. With no authority
+// bound this is the fixed-root comparison the paper's protocol uses.
+func (c *Circulator) isRoot(v graph.NodeID) bool {
+	if c.auth == nil {
+		return v == c.root
+	}
+	return c.auth.IsRoot(v)
+}
+
 // Parent implements Substrate.
 func (c *Circulator) Parent(v graph.NodeID) graph.NodeID {
-	if v == c.root {
+	if c.isRoot(v) {
 		return graph.None
 	}
 	return c.par[v]
@@ -256,7 +274,7 @@ func (c *Circulator) levPlusOne(v graph.NodeID) int {
 // catchUpReady reports whether the CatchUp guard holds at v.
 func (c *Circulator) catchUpReady(v graph.NodeID) bool {
 	m := c.maxNbrSeq(v)
-	if v == c.root {
+	if c.isRoot(v) {
 		return m > c.seq[v]
 	}
 	return m >= 2 && m-1 > c.seq[v] // gap of two or more rounds
@@ -264,7 +282,7 @@ func (c *Circulator) catchUpReady(v graph.NodeID) bool {
 
 // Enabled implements program.Protocol.
 func (c *Circulator) Enabled(v graph.NodeID, buf []program.ActionID) []program.ActionID {
-	if v == c.root {
+	if c.isRoot(v) {
 		if c.done[v] {
 			buf = append(buf, ActStart)
 		}
@@ -287,7 +305,7 @@ func (c *Circulator) Enabled(v graph.NodeID, buf []program.ActionID) []program.A
 func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 	switch a {
 	case ActStart:
-		if v != c.root || !c.done[v] {
+		if !c.isRoot(v) || !c.done[v] {
 			return false
 		}
 		next := c.seq[v]
@@ -306,7 +324,7 @@ func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 
 	case ActForward:
 		q := c.arrowSource(v)
-		if v == c.root || q == graph.None {
+		if c.isRoot(v) || q == graph.None {
 			return false
 		}
 		c.par[v] = q
@@ -343,7 +361,7 @@ func (c *Circulator) Execute(v graph.NodeID, a program.ActionID) bool {
 			return false
 		}
 		m := c.maxNbrSeq(v)
-		if v == c.root {
+		if c.isRoot(v) {
 			c.seq[v] = m
 		} else {
 			c.seq[v] = m - 1
@@ -429,10 +447,11 @@ func (c *Circulator) Behind(u, v graph.NodeID) bool { return c.seq[u] < c.seq[v]
 // HasToken implements Substrate: v holds the token iff a token-moving
 // action (Start, Forward or Advance) is enabled at v.
 func (c *Circulator) HasToken(v graph.NodeID) bool {
-	if v == c.root && c.done[v] {
-		return true
-	}
-	if v != c.root && c.arrowSource(v) != graph.None {
+	if c.isRoot(v) {
+		if c.done[v] {
+			return true
+		}
+	} else if c.arrowSource(v) != graph.None {
 		return true
 	}
 	return c.advanceReady(v)
@@ -465,7 +484,7 @@ func (c *Circulator) ActionName(a program.ActionID) string {
 // 1-hop ball as Enabled, through the guard helpers directly, keeping
 // instrumented Enabled-call counts unchanged on connected graphs.
 func (c *Circulator) orphanSilent(v graph.NodeID) bool {
-	if v == c.root {
+	if c.isRoot(v) {
 		if c.done[v] {
 			return false // Start is enabled
 		}
@@ -497,7 +516,16 @@ func (c *Circulator) rootComponent() int {
 // guards read one hop: silence in an orphan component is stable until
 // a topology delta reconnects it, and the root's component cannot
 // enable an orphan.
+//
+// With a RootAuthority bound the predicate generalises per component:
+// every component owning exactly one effective root must satisfy the
+// classic predicate anchored at that root, components owning none must
+// be silent, and a component owning several (a transient right after a
+// heal merges two acting roots) is illegitimate outright.
 func (c *Circulator) Legitimate() bool {
+	if c.auth != nil {
+		return c.legitimateMulti()
+	}
 	r := c.root
 	rnd := c.seq[r]
 	rootComp := c.rootComponent()
@@ -582,6 +610,103 @@ func (c *Circulator) checkOffChain(onChain []uint64, rnd uint64, rootComp int) b
 			}
 			p := c.par[v]
 			if id == c.root || p == graph.None || !c.g.HasEdge(id, p) || c.seq[p] != rnd || c.lev[v] != c.lev[p]+1 {
+				return false
+			}
+		case c.seq[v]+1 == rnd:
+			if !c.done[v] || c.ptr[v] != -1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// legitimateMulti is Legitimate under a bound RootAuthority: each
+// component is checked against its own effective root. The chain walks
+// of distinct components mark the same stamp epoch — chains cannot
+// cross component boundaries, so the marks never collide.
+func (c *Circulator) legitimateMulti() bool {
+	g := c.g
+	roots := make(map[int]graph.NodeID)
+	for v := 0; v < g.N(); v++ {
+		id := graph.NodeID(v)
+		if !g.Alive(id) || !c.auth.IsRoot(id) {
+			continue
+		}
+		comp := g.ComponentOf(id)
+		if _, dup := roots[comp]; dup {
+			return false // two acting roots in one component
+		}
+		roots[comp] = id
+	}
+	if c.chainStamp == nil {
+		c.chainStamp = make([]uint64, g.N())
+	}
+	c.chainEpoch++
+	onChain := c.chainStamp
+	for _, r := range roots {
+		if c.done[r] {
+			continue // between rounds: no chain to walk
+		}
+		if c.lev[r] != 0 {
+			return false
+		}
+		rnd := c.seq[r]
+		v := r
+	walk:
+		for {
+			if c.done[v] || c.seq[v] != rnd || onChain[v] == c.chainEpoch {
+				return false
+			}
+			onChain[v] = c.chainEpoch
+			q := c.ptrTarget(v)
+			if q == graph.None {
+				break // head, freshly visited
+			}
+			switch {
+			case c.seq[q] == rnd && !c.done[q]:
+				if c.par[q] != v || c.lev[q] != c.lev[v]+1 {
+					return false
+				}
+				v = q
+			case c.seq[q] == rnd && c.done[q]:
+				break walk // head awaiting an advance past a finished child
+			case c.seq[q]+1 == rnd && c.done[q]:
+				break walk // head with an in-flight arrow
+			default:
+				return false
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		id := graph.NodeID(v)
+		if !g.Alive(id) || onChain[v] == c.chainEpoch {
+			continue
+		}
+		r, ok := roots[g.ComponentOf(id)]
+		if !ok {
+			if !c.orphanSilent(id) {
+				return false
+			}
+			continue
+		}
+		rnd := c.seq[r]
+		if c.done[r] {
+			// Between rounds: everyone finished at the root's counter.
+			if c.seq[v] != rnd || !c.done[v] || c.ptr[v] != -1 {
+				return false
+			}
+			continue
+		}
+		switch {
+		case c.seq[v] == rnd:
+			if !c.done[v] || c.ptr[v] != -1 {
+				return false
+			}
+			p := c.par[v]
+			if c.isRoot(id) || p == graph.None || !g.HasEdge(id, p) || c.seq[p] != rnd || c.lev[v] != c.lev[p]+1 {
 				return false
 			}
 		case c.seq[v]+1 == rnd:

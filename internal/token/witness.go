@@ -32,41 +32,71 @@ import (
 //	         child awaiting advance, or a one-round-behind finished
 //	         in-flight target.
 //
-// The counters are component-scoped: only nodes in the root's
-// component contribute to the seq buckets, and the population they are
-// compared against is ComponentSize(rootComp), not NAlive. Nodes in a
-// component without the root contribute a single bit — whether any
-// action is enabled (orphanSilent) — tallied in orphanLoud; orphan
-// legitimacy is orphanLoud = 0. Which bucket a node feeds depends on
-// component labels, which a merge or split relabels WITHOUT touching
-// the node, so the witness caches the CompVersion it was built against
-// and rebuilds from scratch when the graph's moves past it.
+// The counters are component-scoped: only nodes in a rooted component
+// contribute to the (component, seq) buckets, and the population each
+// bucket group is compared against is that component's ComponentSize,
+// not NAlive. Nodes in a rootless component contribute a single bit —
+// whether any action is enabled (orphanSilent) — tallied in
+// orphanLoud; orphan legitimacy is orphanLoud = 0. Which bucket a node
+// feeds depends on component labels, which a merge or split relabels
+// WITHOUT touching the node, so the witness caches the CompVersion it
+// was built against and rebuilds from scratch when the graph's moves
+// past it. Two further staleness keys guard the same way: the root's
+// liveness epoch (graph.RootEpoch — a die/revive pair between two
+// queries restores Alive(root) to true while every cached
+// classification is garbage, and CompVersion need not move when a
+// degree-one root dies), and, when a RootAuthority is bound, its
+// RootsVersion (an IsRoot flip re-anchors whole components without
+// touching them).
 //
-// Between rounds (done_root): legitimate ⇔ cnt[rnd] = n_comp ∧
-// a[rnd] = 0 ∧ orphanLoud = 0. Mid-round (¬done_root): legitimate ⇔
-// lev_root = 0 ∧ cnt[rnd]+cnt[rnd−1] = n_comp ∧ a[rnd−1] = 0 ∧
-// b[rnd] = d[rnd] = e[rnd] = 0 ∧ orphanLoud = 0. Dead root: every
-// live node is an orphan; legitimate ⇔ orphanLoud = 0.
+// Per rooted component with effective root r, rnd = seq_r: between
+// rounds (done_r): legitimate ⇔ cnt[rnd] = n_comp ∧ a[rnd] = 0.
+// Mid-round (¬done_r): legitimate ⇔ lev_r = 0 ∧ cnt[rnd]+cnt[rnd−1] =
+// n_comp ∧ a[rnd−1] = 0 ∧ b[rnd] = d[rnd] = e[rnd] = 0. Overall
+// legitimacy is the conjunction over rooted components, plus
+// orphanLoud = 0, plus "no component owns two effective roots" (a
+// post-heal transient; multiRoot counts them). With no authority bound
+// there is at most one rooted component — the fixed root's, with a
+// dead root making every live node an orphan — which is exactly the
+// pre-failover predicate.
 //
-// The mid-round equivalence with the chain walk: d[rnd] = 0 makes
-// every non-root unfinished node the unique pointer-designated child
-// of an unfinished same-round parent with lev one higher, so parent
-// chains descend in lev and terminate only at the root — the
-// unfinished nodes form exactly one pointer chain from the root, each
-// node having at most one chain child because a pointer designates one
-// neighbour (parents are neighbours, so the chain never leaves the
-// component). e[rnd] = 0 pins every chain pointer to the walk's three
-// head cases, b[rnd] = 0 is checkOffChain's visited clause, a[rnd−1] =
-// 0 its unvisited clause, and the cnt equation its default clause.
-// TestWitnessMatchesChainWalk audits the equivalence on random
-// executions; the model-checking suites pin Legitimate() itself.
+// The mid-round equivalence with the chain walk (per component):
+// d[rnd] = 0 makes every non-root unfinished node the unique
+// pointer-designated child of an unfinished same-round parent with lev
+// one higher, so parent chains descend in lev and terminate only at
+// the effective root — the unfinished nodes form exactly one pointer
+// chain from it, each node having at most one chain child because a
+// pointer designates one neighbour (parents are neighbours, so the
+// chain never leaves the component). e[rnd] = 0 pins every chain
+// pointer to the walk's three head cases, b[rnd] = 0 is the off-chain
+// visited clause, a[rnd−1] = 0 its unvisited clause, and the cnt
+// equation its default clause. TestWitnessMatchesChainWalk audits the
+// equivalence on random executions; the model-checking suites pin
+// Legitimate() itself.
 type circWitness struct {
 	valid      bool
-	tab        map[uint64]witCounters
+	tab        map[witKey]witCounters
 	node       []witContrib // cached contribution, for O(1) retraction
 	orphanLoud int          // orphan nodes with an enabled action
 	compVer    uint64       // graph.CompVersion the labels were read at
-	rootAlive  bool         // root liveness the labels were read at
+	rootEpoch  uint64       // graph.RootEpoch(root) the labels were read at
+	rootsVer   uint64       // RootAuthority.RootsVersion the roots were read at
+
+	// compRoot maps each component owning exactly one effective root to
+	// it; multiRoot counts components owning several. Built at reset
+	// from the bound authority; with none bound, compRoot holds at most
+	// the fixed root's component under pseudo-label 0.
+	compRoot  map[int]graph.NodeID
+	multiRoot int
+}
+
+// witKey addresses one seq bucket of one rooted component. With no
+// authority bound the component is always pseudo-label 0 (there is
+// only one rooted component), keeping the table exactly as cheap as
+// the pre-failover seq-keyed one.
+type witKey struct {
+	comp int
+	seq  uint64
 }
 
 // witCounters aggregates one seq bucket.
@@ -77,9 +107,10 @@ type witCounters struct {
 // witContrib is one node's cached contribution. A dead node (topology
 // churn) contributes nothing: its frozen variables are outside every
 // legitimacy clause, and the population count compares against the
-// root component's size, not N. An orphan node (live, component
-// without the root) contributes only its loud bit.
+// owning component's size, not N. An orphan node (live, component
+// without an effective root) contributes only its loud bit.
 type witContrib struct {
+	comp       int // bucket component (0 with no authority bound)
 	seq        uint64
 	a, b, d, e bool
 	dead       bool
@@ -130,18 +161,31 @@ func (c *Circulator) headPtrOK(v graph.NodeID) bool {
 	return false
 }
 
-// witContribOf derives node v's contribution from its neighbourhood
-// and its component label (read at the cached CompVersion).
+// witContribOf derives node v's contribution from its neighbourhood,
+// its component label (read at the cached CompVersion) and the cached
+// component→effective-root map (read at the cached RootsVersion).
 func (c *Circulator) witContribOf(v graph.NodeID) witContrib {
 	if !c.g.Alive(v) {
 		return witContrib{dead: true}
 	}
-	if c.g.ComponentOf(v) != c.rootComponent() {
-		return witContrib{orphan: true, loud: !c.orphanSilent(v)}
+	bucket, root := 0, c.root
+	if c.auth == nil {
+		if c.g.ComponentOf(v) != c.rootComponent() {
+			return witContrib{orphan: true, loud: !c.orphanSilent(v)}
+		}
+	} else {
+		comp := c.g.ComponentOf(v)
+		r, ok := c.wit.compRoot[comp]
+		if !ok {
+			// Rootless component — or a multi-root one, whose counters
+			// are irrelevant because multiRoot already vetoes.
+			return witContrib{orphan: true, loud: !c.orphanSilent(v)}
+		}
+		bucket, root = comp, r
 	}
-	w := witContrib{seq: c.seq[v]}
+	w := witContrib{comp: bucket, seq: c.seq[v]}
 	w.a = !c.done[v] || c.ptr[v] != -1
-	if v != c.root {
+	if v != root {
 		if c.done[v] {
 			w.b = c.ptr[v] != -1 || !c.parShapeOK(v)
 		} else {
@@ -165,7 +209,8 @@ func (c *Circulator) witApply(w witContrib, dir int) {
 		}
 		return
 	}
-	k := c.wit.tab[w.seq]
+	key := witKey{comp: w.comp, seq: w.seq}
+	k := c.wit.tab[key]
 	k.cnt += dir
 	if w.a {
 		k.a += dir
@@ -180,9 +225,9 @@ func (c *Circulator) witApply(w witContrib, dir int) {
 		k.e += dir
 	}
 	if k == (witCounters{}) {
-		delete(c.wit.tab, w.seq) // keep the table at O(live rounds), not O(history)
+		delete(c.wit.tab, key) // keep the table at O(live rounds), not O(history)
 	} else {
-		c.wit.tab[w.seq] = k
+		c.wit.tab[key] = k
 	}
 }
 
@@ -195,11 +240,36 @@ func (c *Circulator) WitnessReset() {
 		c.wit.node = make([]witContrib, c.g.N())
 	}
 	if c.wit.tab == nil || len(c.wit.tab) > 0 {
-		c.wit.tab = make(map[uint64]witCounters, 4)
+		c.wit.tab = make(map[witKey]witCounters, 4)
 	}
 	c.wit.orphanLoud = 0
 	c.wit.compVer = c.g.CompVersion()
-	c.wit.rootAlive = c.g.Alive(c.root)
+	c.wit.rootEpoch = c.g.RootEpoch(c.root)
+	c.wit.rootsVer = 0
+	c.wit.compRoot = nil
+	c.wit.multiRoot = 0
+	if c.auth != nil {
+		c.wit.rootsVer = c.auth.RootsVersion()
+		c.wit.compRoot = make(map[int]graph.NodeID)
+		counts := make(map[int]int)
+		for v := 0; v < c.g.N(); v++ {
+			id := graph.NodeID(v)
+			if !c.g.Alive(id) || !c.auth.IsRoot(id) {
+				continue
+			}
+			comp := c.g.ComponentOf(id)
+			counts[comp]++
+			if counts[comp] == 1 {
+				c.wit.compRoot[comp] = id
+			}
+		}
+		for comp, n := range counts {
+			if n > 1 {
+				delete(c.wit.compRoot, comp)
+				c.wit.multiRoot++
+			}
+		}
+	}
 	for v := 0; v < c.g.N(); v++ {
 		w := c.witContribOf(graph.NodeID(v))
 		c.wit.node[v] = w
@@ -223,32 +293,50 @@ func (c *Circulator) WitnessRefresh(v graph.NodeID) {
 }
 
 // WitnessLegitimate implements program.Witness, deciding Legitimate()
-// from the counters in O(1). A merge or split relabels components
-// beyond any Touched set, silently moving nodes between the seq
+// from the counters in O(components). A merge or split relabels
+// components beyond any Touched set, silently moving nodes between the
 // buckets and the orphan tally, so a CompVersion mismatch forces a
 // rebuild before the counters are trusted. So does a flip of the
-// root's liveness: the root dying (or reviving) re-classifies every
-// live node without relabelling anything.
+// root's liveness — keyed on graph.RootEpoch, not Alive, so a
+// die/revive pair between two queries (which leaves Alive compare-
+// equal while every classification is garbage) still rebuilds — and,
+// under a bound authority, any change to the effective root set
+// (RootsVersion moved).
 func (c *Circulator) WitnessLegitimate() bool {
 	if c.wit == nil || !c.wit.valid || c.wit.compVer != c.g.CompVersion() ||
-		c.wit.rootAlive != c.g.Alive(c.root) {
+		c.wit.rootEpoch != c.g.RootEpoch(c.root) ||
+		(c.auth != nil && c.wit.rootsVer != c.auth.RootsVersion()) {
 		c.WitnessReset()
 	}
-	if c.wit.orphanLoud != 0 {
+	if c.wit.orphanLoud != 0 || c.wit.multiRoot != 0 {
 		return false
 	}
-	rootComp := c.rootComponent()
-	if rootComp < 0 {
-		return true // dead root: orphan silence is the whole predicate
+	if c.auth == nil {
+		rootComp := c.rootComponent()
+		if rootComp < 0 {
+			return true // dead root: orphan silence is the whole predicate
+		}
+		return c.witCompLegitimate(0, c.g.ComponentSize(rootComp), c.root)
 	}
-	pop := c.g.ComponentSize(rootComp)
-	rnd := c.seq[c.root]
-	k := c.wit.tab[rnd]
-	if c.done[c.root] {
+	for comp, r := range c.wit.compRoot {
+		if !c.witCompLegitimate(comp, c.g.ComponentSize(comp), r) {
+			return false
+		}
+	}
+	return true
+}
+
+// witCompLegitimate decides one rooted component's clauses from its
+// bucket group: bucket is the table key component, pop the live
+// population to account for, r the effective root.
+func (c *Circulator) witCompLegitimate(bucket, pop int, r graph.NodeID) bool {
+	rnd := c.seq[r]
+	k := c.wit.tab[witKey{comp: bucket, seq: rnd}]
+	if c.done[r] {
 		return k.cnt == pop && k.a == 0
 	}
-	kp := c.wit.tab[rnd-1]
-	return c.lev[c.root] == 0 &&
+	kp := c.wit.tab[witKey{comp: bucket, seq: rnd - 1}]
+	return c.lev[r] == 0 &&
 		k.cnt+kp.cnt == pop &&
 		kp.a == 0 && k.b == 0 && k.d == 0 && k.e == 0
 }

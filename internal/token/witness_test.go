@@ -79,3 +79,71 @@ func TestCirculatorWitnessSurvivesLongRun(t *testing.T) {
 		}
 	}
 }
+
+// TestWitnessRootDieReviveFootgun is the regression test for the
+// CompVersion caching footgun: the root dying and reviving between two
+// witness queries restores Alive(root) to true — so a liveness-*value*
+// cache sees nothing — while component labels need not move either,
+// leaving every cached orphan/rooted classification stale. The witness
+// keys its rebuild on graph.RootEpoch, which counts flips instead of
+// comparing values; this test drives exactly that blind spot and
+// demands witness ≡ Legitimate throughout.
+func TestWitnessRootDieReviveFootgun(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(4) // root 0 has degree 1: killing it splits nothing
+	c, err := token.NewCirculator(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := program.NewSystem(c, daemon.NewCentral(7))
+	if _, err := sys.RunUntilLegitimate(0); err != nil {
+		t.Fatal(err) // arms the witness
+	}
+	if !c.WitnessLegitimate() {
+		t.Fatal("not legitimate after stabilization")
+	}
+	// Kill the root, then revive it — no witness query in between.
+	d, err := g.RemoveNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ApplyDelta(d)
+	id, d2 := g.AddNode()
+	if id != 0 {
+		t.Fatalf("revive picked slot %d, want the root", id)
+	}
+	sys.ApplyDelta(d2)
+	// The revived root is isolated: its singleton component must
+	// satisfy the classic predicate (it does: the root immediately has
+	// Start enabled, so it is *not* silent and the old all-orphan
+	// classification would call the configuration legitimate or not on
+	// stale grounds). Whatever the verdict, it must match the scan.
+	for step := 0; step < 64; step++ {
+		if got, want := c.WitnessLegitimate(), c.Legitimate(); got != want {
+			t.Fatalf("step %d: witness %v vs Legitimate %v after die/revive", step, got, want)
+		}
+		n, err := sys.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	// Re-attach the root and run back to global legitimacy.
+	d3, err := g.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ApplyDelta(d3)
+	res, err := sys.RunUntilLegitimate(int64(20000 * (g.N() + g.M())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence after heal")
+	}
+	if got, want := c.WitnessLegitimate(), c.Legitimate(); !got || got != want {
+		t.Fatalf("post-heal witness %v vs Legitimate %v", got, want)
+	}
+}
