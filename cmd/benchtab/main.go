@@ -53,11 +53,12 @@ func run(args []string) error {
 		jsonOut   = fs.Bool("json", false, "emit a JSON array of tables (for BENCH_*.json baselines)")
 		regress   = fs.String("regress", "", "baseline BENCH_*.json to compare latency columns against")
 		tolerance = fs.Float64("tolerance", 2.0, "fail when a speedup cell collapses below baseline/tolerance")
+		workers   = fs.Int("workers", 0, "extra worker count for parallel-stepper sweeps (0 = default sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers}
 
 	var selected []experiments.Experiment
 	if *expList == "all" {
@@ -66,7 +67,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expList, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T15)", id)
+				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T16)", id)
 			}
 			selected = append(selected, e)
 		}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"netorient/internal/churn"
 	"netorient/internal/core"
@@ -140,6 +141,8 @@ func run(args []string) error {
 		soakN      = fs.Int("soak", 0, "if >0, run the multi-partition soak with this many mutation phases (implies -failover)")
 		soakWall   = fs.Duration("soak-wall", 0, "wall-clock budget for the soak (0 = unbounded)")
 		leaveSplit = fs.Int("leave-split", 0, "soak: number of cuts never healed — components that never reunite")
+		corruptPr  = fs.Float64("corrupt-rate", 0, "soak: per-phase probability of a transient state fault on top of the topology mutation")
+		workersN   = fs.Int("workers", 1, "plain campaign scheduler: 1 = serial under -daemon; 0 = sharded parallel stepper with GOMAXPROCS workers; N>1 = parallel with N workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,11 +178,12 @@ func run(args []string) error {
 		sys := program.NewSystem(p, mkDaemon(0))
 		run := &churn.Runner{G: g, Sys: sys, Root: 0}
 		st, err := run.Soak(fp, churn.SoakConfig{
-			Seed:       *seed,
-			Phases:     *soakN,
-			StepBudget: budget,
-			WallBudget: *soakWall,
-			LeaveSplit: *leaveSplit,
+			Seed:        *seed,
+			Phases:      *soakN,
+			StepBudget:  budget,
+			WallBudget:  *soakWall,
+			LeaveSplit:  *leaveSplit,
+			CorruptRate: *corruptPr,
 		})
 		if err != nil {
 			return err
@@ -337,8 +341,19 @@ func run(args []string) error {
 	var steps, moves, rounds []int64
 	for trial := 0; trial < *trials; trial++ {
 		p.Randomize(rng)
-		sys := program.NewSystem(p, mkDaemon(trial))
-		res, err := sys.RunUntilLegitimate(budget)
+		var res program.RunResult
+		if *workersN == 1 {
+			sys := program.NewSystem(p, mkDaemon(trial))
+			res, err = sys.RunUntilLegitimate(budget)
+		} else {
+			// The sharded parallel stepper is its own maximal
+			// distributed daemon; -daemon does not apply to it.
+			ps := program.NewParallelSystem(p, program.ParallelConfig{
+				Workers: *workersN,
+				Seed:    *seed + int64(trial),
+			})
+			res, err = ps.RunUntilLegitimate(budget)
+		}
 		if err != nil {
 			return err
 		}
@@ -353,8 +368,16 @@ func run(args []string) error {
 	ss := trace.SummarizeInts(steps)
 	ms := trace.SummarizeInts(moves)
 	rs := trace.SummarizeInts(rounds)
+	sched := fmt.Sprintf("daemon=%s", *dmn)
+	if *workersN != 1 {
+		w := *workersN
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		sched = fmt.Sprintf("parallel stepper, workers=%d", w)
+	}
 	tb := trace.NewTable(
-		fmt.Sprintf("stabilization from arbitrary configurations: %s on %s, daemon=%s, %d trials", *proto, g, *dmn, *trials),
+		fmt.Sprintf("stabilization from arbitrary configurations: %s on %s, %s, %d trials", *proto, g, sched, *trials),
 		"median steps", "median moves", "p95 moves", "max moves", "median rounds", "max rounds")
 	tb.AddRow(ss.Median, ms.Median, ms.P95, ms.Max, rs.Median, rs.Max)
 	return tb.Render(os.Stdout)

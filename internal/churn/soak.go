@@ -75,6 +75,14 @@ type SoakConfig struct {
 	// RootDown is how many phases the fixed root stays crashed per
 	// crash (default 2).
 	RootDown int
+	// CorruptRate is the per-phase probability that a transient fault
+	// overwrites the local state of a few random live nodes on top of
+	// the phase's topology mutation — composing the state-corruption
+	// fault model (package fault) with the partition schedule. The
+	// protocol must implement program.NodeCorruptor; the knob is
+	// ignored otherwise. Default 0 (off), so existing seeded runs
+	// replay unchanged.
+	CorruptRate float64
 }
 
 func (c SoakConfig) withDefaults(g *graph.Graph) SoakConfig {
@@ -131,8 +139,10 @@ type SoakStats struct {
 	TotalSteps      int64
 	TotalMoves      int64
 	Deltas          int64
-	LeaderFlaps     int64
-	Elapsed         time.Duration
+	// Corruptions counts the nodes hit by CorruptRate transient faults.
+	Corruptions int64
+	LeaderFlaps int64
+	Elapsed     time.Duration
 	// Truncated is set when WallBudget expired before all mutation
 	// phases ran.
 	Truncated bool
@@ -376,6 +386,29 @@ func (r *Runner) Soak(p Failover, cfg SoakConfig) (SoakStats, error) {
 		}
 		if !did {
 			op = "idle"
+		}
+		// Layer state corruption over the topology fault: transient
+		// faults and partition events are independent in the model, so
+		// the soak exercises their composition. The corrupted nodes'
+		// guards go stale wholesale, hence the Invalidate — same repair
+		// path the fault campaigns use.
+		if cfg.CorruptRate > 0 && rng.Float64() < cfg.CorruptRate {
+			if nc, ok := p.(program.NodeCorruptor); ok {
+				k := 1 + rng.Intn(3)
+				hit := 0
+				for attempts := 0; hit < k && attempts < 8*k; attempts++ {
+					v := graph.NodeID(rng.Intn(g.N()))
+					if g.Alive(v) {
+						nc.CorruptNode(v, rng)
+						hit++
+					}
+				}
+				if hit > 0 {
+					r.Sys.Invalidate()
+					st.Corruptions += int64(hit)
+					op = fmt.Sprintf("%s+corrupt:%d", op, hit)
+				}
+			}
 		}
 		if err := runPhase(phase, op); err != nil {
 			return st, err

@@ -2,6 +2,7 @@ package churn_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"netorient/internal/churn"
@@ -189,5 +190,40 @@ func TestFailoverReport(t *testing.T) {
 				t.Fatalf("orphan detect steps %d, want supplied 17", c.DetectSteps)
 			}
 		}
+	}
+}
+
+// TestSoakCorruptRate composes transient state faults with the
+// partition schedule: every phase has a chance to overwrite a few
+// nodes' local state on top of its topology mutation, and the run
+// must still finish violation-free and fully merged.
+func TestSoakCorruptRate(t *testing.T) {
+	t.Parallel()
+	g := graph.Lollipop(6, 6)
+	r, p := soakRunner(t, "bfstree", g, 13)
+	st, err := r.Soak(p, churn.SoakConfig{Seed: 1, Phases: 8, CorruptRate: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ok() {
+		t.Fatalf("soak violations:\n%v", st.Violations)
+	}
+	if st.Corruptions == 0 {
+		t.Fatal("CorruptRate=0.9 over 8 phases corrupted nothing")
+	}
+	if st.FinalComponents != 1 {
+		t.Fatalf("final components %d, want 1", st.FinalComponents)
+	}
+	corrupted := false
+	for _, ph := range st.Phases {
+		if strings.Contains(ph.Op, "+corrupt:") {
+			corrupted = true
+			if !ph.Converged {
+				t.Fatalf("phase %d (%s): no settle after corruption", ph.Index, ph.Op)
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("no phase op records a corruption")
 	}
 }

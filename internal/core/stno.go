@@ -58,9 +58,6 @@ type STNO struct {
 	start  [][]int // per node, per port; meaningful on child ports, 0 elsewhere
 	pi     [][]int
 
-	childBuf []graph.NodeID
-	wantBuf  []int // scratch for nameInvalid's Distribute comparison
-
 	// subBall lazily caches, per node, the influence ball substrate
 	// moves need (radius 1 + Substrate.ParentLocality); nil entries are
 	// unbuilt. Unused (and unallocated) when the radius is 1.
@@ -193,17 +190,17 @@ func (s *STNO) ensureAuth() {
 	s.wit.Invalidate()
 }
 
-// children returns D_v in port order, reusing the internal buffer.
-func (s *STNO) children(v graph.NodeID) []graph.NodeID {
-	s.childBuf = spantree.Children(s.g, s.sub, v, s.childBuf[:0])
-	return s.childBuf
-}
-
 // expectedWeight is CalcWeight: 1 + Σ_{q∈D_v} Weight_q (1 for leaves).
+// D_v is enumerated inline rather than through a shared scratch
+// buffer: guards and statements of distinct nodes run concurrently in
+// the parallel stepper, so per-instance mutable scratch is off-limits
+// on any path Enabled or Execute can reach.
 func (s *STNO) expectedWeight(v graph.NodeID) int {
 	w := 1
-	for _, q := range s.children(v) {
-		w += s.weight[q]
+	for _, q := range s.g.Neighbors(v) {
+		if q != graph.None && s.sub.Parent(q) == v {
+			w += s.weight[q]
+		}
 	}
 	return w
 }
@@ -245,17 +242,24 @@ func (s *STNO) wantStart(v graph.NodeID, out []int) []int {
 	return out
 }
 
-// nameInvalid is InvalidNodelabel ∨ a stale Start array. It reuses a
-// scratch buffer for the Distribute comparison: the guard runs on
-// every evaluation of every node, and an allocation here was the last
-// per-step allocation on STNO's hot path.
+// nameInvalid is InvalidNodelabel ∨ a stale Start array. The
+// Distribute comparison runs inline against Start_v instead of
+// materialising the target array: it keeps the guard allocation-free
+// (it runs on every evaluation of every node) without a shared
+// scratch buffer, which concurrent guard evaluations in the parallel
+// stepper could not tolerate.
 func (s *STNO) nameInvalid(v graph.NodeID) bool {
 	if want, ok := s.expectedEta(v); ok && s.eta[v] != want {
 		return true
 	}
-	s.wantBuf = s.wantStart(v, s.wantBuf[:0])
-	for port, w := range s.wantBuf {
-		if s.start[v][port] != w {
+	given := s.eta[v]
+	for port, q := range s.g.Neighbors(v) {
+		want := 0
+		if q != graph.None && s.sub.Parent(q) == v {
+			want = given + 1
+			given += s.weight[q]
+		}
+		if s.start[v][port] != want {
 			return true
 		}
 	}
@@ -347,6 +351,13 @@ func (s *STNO) Influence(v graph.NodeID, a program.ActionID, buf []graph.NodeID)
 	}
 	return append(buf, s.subBall[v]...)
 }
+
+// LocalityRadius implements program.LocalityRadius for the sharded
+// parallel stepper: STNO's guards read up to 1+ParentLocality() hops
+// (the substrate-parent argument of the Influence audit above), its
+// statements write only v's own variables, and every influence set is
+// a ball of that radius, so the declared radius is subBallRad.
+func (s *STNO) LocalityRadius() int { return s.subBallRad }
 
 // ActionName implements program.ActionNamer.
 func (s *STNO) ActionName(a program.ActionID) string {

@@ -26,6 +26,9 @@ type Config struct {
 	Quick bool
 	// Trials overrides the per-point repetition count (0 = default).
 	Trials int
+	// Workers adds a worker count to experiments that sweep the
+	// sharded parallel stepper (T16); 0 keeps the default sweep.
+	Workers int
 }
 
 func (c Config) trials(def int) int {
@@ -70,6 +73,7 @@ func All() []Experiment {
 		{"T13", "dynamic topology — localized ApplyDelta invalidation and churn recovery", T13Churn},
 		{"T14", "partition tolerance — per-component convergence while split, heal-time merge vs partition count", T14PartitionHeal},
 		{"T15", "root failover — disconnection detection latency and acting-root re-anchoring vs orphan size", T15Failover},
+		{"T16", "scheduler — sharded parallel stepper counted throughput vs worker count at n=2^20", T16ParallelStepper},
 	}
 }
 

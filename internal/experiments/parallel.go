@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/trace"
+)
+
+// T16ParallelStepper measures the sharded parallel stepper's
+// distributed-daemon throughput against its own single-shard run at
+// n = 2²⁰: the BFS spanning tree protocol on a 1024×1024 grid,
+// relabeled by BFS discovery order (graph.BFSOrder + ReorderNodes) so
+// each contiguous-id shard is a geometrically compact region and the
+// interior/frontier split stays heavily interior.
+//
+// The machine running the table may have any number of cores — CI
+// boxes often pin GOMAXPROCS — so the table reports *counted*
+// throughput, not wall-clock: work is the total number of guard
+// evaluations plus executed moves, span is the critical path under the
+// engine's barrier structure (per step: the largest single shard's
+// phase-A work plus the serialized boundary pass). moves/span is then
+// aggregate moves per unit of critical-path time on an ideal
+// W-core machine, and "counted speedup" normalises it by the
+// one-worker run — a same-process ratio the regression gate can hold
+// across hardware. The one-worker run has an empty frontier (every
+// ball is interior to the single shard), so its span equals its work
+// and its ratio is 1 by construction.
+//
+// Quick mode keeps n = 2²⁰ — shrinking the graph would change the row
+// keys the committed baseline is diffed against — and only lowers the
+// fixed step count.
+func T16ParallelStepper(cfg Config) (*trace.Table, error) {
+	steps := 10
+	if cfg.Quick {
+		steps = 3
+	}
+	workerSet := []int{1, 2, 4, 8}
+	if cfg.Workers > 0 {
+		found := false
+		for _, w := range workerSet {
+			if w == cfg.Workers {
+				found = true
+			}
+		}
+		if !found {
+			workerSet = append(workerSet, cfg.Workers)
+		}
+	}
+
+	base := graph.Grid(1024, 1024)
+	order, err := graph.BFSOrder(base, 0)
+	if err != nil {
+		return nil, err
+	}
+	g, inv, err := base.ReorderNodes(order)
+	if err != nil {
+		return nil, err
+	}
+	root := inv[0]
+
+	tb := trace.NewTable(
+		"T16 — sharded parallel stepper: counted distributed-daemon throughput vs worker count (BFS tree on a BFS-relabeled 1024×1024 grid, work/span accounting)",
+		"graph", "n", "workers", "steps", "moves", "frontier", "work units", "span units", "counted speedup")
+	baseline := 0.0
+	for _, w := range workerSet {
+		p, err := spantree.NewBFSTree(g, root)
+		if err != nil {
+			return nil, err
+		}
+		p.Randomize(rand.New(rand.NewSource(cfg.Seed)))
+		ps := program.NewParallelSystem(p, program.ParallelConfig{Workers: w, Seed: cfg.Seed})
+		for i := 0; i < steps; i++ {
+			n, err := ps.Step()
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("T16: terminal after %d steps at w=%d", i, w)
+			}
+		}
+		if ps.SpanUnits() == 0 {
+			return nil, fmt.Errorf("T16: zero span at w=%d", w)
+		}
+		thr := float64(ps.Moves()) / float64(ps.SpanUnits())
+		if baseline == 0 {
+			baseline = thr
+		}
+		tb.AddRow("grid:1024x1024", g.N(), w, steps,
+			ps.Moves(), ps.FrontierSize(), ps.WorkUnits(), ps.SpanUnits(), thr/baseline)
+	}
+	return tb, nil
+}

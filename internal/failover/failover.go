@@ -364,6 +364,19 @@ func (p *Protocol) Influence(v graph.NodeID, a program.ActionID, buf []graph.Nod
 	return program.InfluenceClosedNeighborhood(p.g, v, buf)
 }
 
+// LocalityRadius implements program.LocalityRadius for the sharded
+// parallel stepper: the wrapper's radius-2 influence balls (above) and
+// the inner stack's reads through substrate functions are both covered
+// by two hops, taking the maximum of 2 and the stack's own
+// declaration.
+func (p *Protocol) LocalityRadius() int {
+	r := 2
+	if ir := program.ProtocolRadius(p.in); ir > r {
+		r = ir
+	}
+	return r
+}
+
 // ActionName implements program.ActionNamer.
 func (p *Protocol) ActionName(a program.ActionID) string {
 	switch a {

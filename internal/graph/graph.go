@@ -263,22 +263,34 @@ func (g *Graph) Connected() bool {
 }
 
 // Reorder returns a copy of g in which every node's adjacency list is
-// permuted by perm[v], a permutation of 0..Degree(v)-1 mapping new port
-// index to old port index. It is used by the ψ-ordering ablation (T8).
+// permuted by perm[v], a permutation of 0..Ports(v)-1 mapping new port
+// index to old port index — the *port space*, not the live degree: on a
+// mutated graph the permutation covers the None holes removed edges
+// left behind, and each hole travels to its new port so port-indexed
+// protocol state stays bound to the right (absent) edge. Dead nodes
+// keep their slot, their (empty) port space and their liveness epoch.
+// The copy carries the original's topology version and per-node
+// liveness epochs, so version-keyed caches treat it as the same
+// mutation history. It is used by the ψ-ordering ablation (T8).
 func (g *Graph) Reorder(perm [][]int) (*Graph, error) {
 	if len(perm) != g.N() {
 		return nil, fmt.Errorf("graph: reorder wants %d permutations, got %d", g.N(), len(perm))
 	}
 	ng := &Graph{
-		adj:   make([][]NodeID, g.N()),
-		ports: make([]map[NodeID]int, g.N()),
-		edges: g.edges,
-		deg:   make([]int, g.N()),
-		dead:  g.dead,
+		adj:     make([][]NodeID, g.N()),
+		ports:   make([]map[NodeID]int, g.N()),
+		edges:   g.edges,
+		deg:     make([]int, g.N()),
+		dead:    g.dead,
+		version: g.version,
 	}
 	if g.alive != nil {
 		ng.alive = make([]bool, len(g.alive))
 		copy(ng.alive, g.alive)
+	}
+	if g.liveEpoch != nil {
+		ng.liveEpoch = make([]uint64, len(g.liveEpoch))
+		copy(ng.liveEpoch, g.liveEpoch)
 	}
 	for v := range g.adj {
 		if len(perm[v]) != len(g.adj[v]) {

@@ -1,0 +1,775 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"netorient/internal/graph"
+)
+
+// This file implements the sharded parallel stepper: a multi-core
+// execution mode for the distributed daemon. The paper's daemon model
+// already legitimizes simultaneous activation of any enabled subset —
+// a parallel batch needs no new semantics, only a proof that it equals
+// some legal serial interleaving. The engine manufactures that proof
+// by construction:
+//
+//   - The node id space is split into contiguous ranges, one shard per
+//     worker (graph.BFSOrder + graph.ReorderNodes give relabelings
+//     under which contiguous ranges are topologically thin, so the
+//     boundary between shards is small).
+//   - A node v is *interior* to its shard iff its closed locality ball
+//     B(v,R) — R from the protocol's LocalityRadius declaration,
+//     default 1 — lies entirely inside the shard. Balls are symmetric,
+//     so if v is interior, no node outside v's shard can read v's
+//     variables or have its guard influenced by a move at v: interior
+//     moves of different shards commute, and the workers execute them
+//     concurrently without locks. Every other node is *frontier* and
+//     is executed in a serialized boundary pass — cross-shard
+//     conflicts are thereby excluded by the disjointness test, not
+//     assumed away, and a protocol that under-declares its radius is
+//     caught by the ownership breach check below.
+//   - Each parallel step is: phase A — every worker sweeps its shard
+//     in ascending id order, fires each enabled interior node (subject
+//     to the distributed daemon's seeded activation draw) and eagerly
+//     repairs the guard cache of the influenced ball, which ownership
+//     confines to its own shard; barrier; phase B — one goroutine
+//     sweeps the frontier in ascending global order and fires enabled
+//     frontier nodes the same way, repairing caches across shard
+//     boundaries. The equivalent serial interleaving is canonical:
+//     shard 0's move sequence, then shard 1's, …, then the boundary
+//     moves. Replaying that sequence through Protocol.Execute from the
+//     same initial configuration fires every move and reproduces the
+//     final configuration bit-for-bit (the differential suite checks
+//     exactly this).
+//   - Determinism: shard s draws from its own rand.Rand seeded from
+//     (Seed, s); the boundary pass has its own. Same seed + same
+//     worker count ⇒ bit-identical trace; a different worker count is
+//     a different (still legal) schedule.
+//
+// Topology churn composes by quiescence: workers only exist inside
+// Step, so ApplyDelta always runs with no worker active. It repairs
+// the guard cache locally (same contract as System.ApplyDelta, growth
+// included) and re-classifies interior/frontier membership only inside
+// the radius-R ball of the touched set.
+//
+// Work/span accounting: the engine counts one work unit per guard
+// evaluation and per executed move. The span of a step is the largest
+// per-shard phase-A count plus the whole serial phase-B count — the
+// critical path of the step under perfect worker overlap. The ratio
+// work/span is the schedule's available parallelism; experiment T16
+// reports counted moves per span unit, a same-process, hardware- and
+// core-count-independent throughput measure (the committed baseline is
+// reproducible on a single-core runner).
+
+// ParallelConfig parameterises a ParallelSystem.
+type ParallelConfig struct {
+	// Workers is the shard/worker count; ≤0 means runtime.GOMAXPROCS.
+	Workers int
+	// Seed drives the per-shard and boundary RNGs.
+	Seed int64
+	// Activation is the distributed daemon's per-candidate inclusion
+	// probability; 0 means 1.0 (every enabled node is activated — the
+	// maximal distributed daemon).
+	Activation float64
+	// Record keeps the move trace (canonical serialization order) for
+	// the serial-oracle differential suite. Off by default: a trace on
+	// a million-node run is the dominant allocation.
+	Record bool
+}
+
+// ParallelSystem drives one protocol with sharded parallel
+// distributed-daemon steps. It is not safe for concurrent use by
+// multiple goroutines — parallelism lives inside Step, and every other
+// method (ApplyDelta, Legitimate checks, accessors) must be called
+// from the owning goroutine between steps, exactly where the engine
+// quiesces.
+type ParallelSystem struct {
+	proto  Protocol
+	inf    Influencer
+	g      *graph.Graph
+	radius int
+
+	workers    int
+	seed       int64
+	activation float64
+	record     bool
+
+	// Shard geometry: shard s owns ids [bounds[s], bounds[s+1]).
+	bounds   []int
+	shardOf  []int32
+	interior []bool
+	frontier []graph.NodeID // ascending non-interior ids
+	shards   []*pshard
+	brng     *rand.Rand
+
+	// Guard cache, same invariant as System: after every Step and
+	// ApplyDelta, acts[v] equals a fresh Protocol.Enabled(v).
+	inited  bool
+	arena   []ActionID
+	acts    [][]ActionID
+	enabled []bool
+	count   int
+	seenN   int
+
+	// Serial-phase dirty scratch (boundary pass, ApplyDelta).
+	mark   []int64
+	epoch  int64
+	dirty  []graph.NodeID
+	infBuf []graph.NodeID
+
+	// Round bookkeeping (same definition as System's incremental mode).
+	pending      []bool
+	pendingCount int
+	roundOpen    bool
+	startRound   bool
+
+	moves  int64
+	steps  int64
+	rounds int64
+
+	work int64 // Σ guard evals + moves, all phases
+	span int64 // Σ per-step (max shard phase-A work + serial phase-B work)
+
+	trace []Move
+}
+
+// pshard is one worker's shard: a contiguous id range plus the
+// worker-private scratch that keeps phase A lock-free. All fields are
+// touched only by the owning worker during phase A and only by the
+// serial phases otherwise.
+type pshard struct {
+	ps     *ParallelSystem
+	id     int
+	lo, hi int
+	rng    *rand.Rand
+
+	dirty  []graph.NodeID
+	infBuf []graph.NodeID
+	trace  []Move
+
+	stepEvals int64
+	stepMoves int64
+	countD    int
+	pendingD  int
+	breach    graph.NodeID // first foreign node an influence set named; None if clean
+}
+
+// NewParallelSystem returns a sharded parallel stepper for proto.
+func NewParallelSystem(proto Protocol, cfg ParallelConfig) *ParallelSystem {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n := proto.Graph().N(); w > n && n > 0 {
+		w = n
+	}
+	act := cfg.Activation
+	if act <= 0 || act > 1 {
+		act = 1
+	}
+	inf, _ := proto.(Influencer)
+	return &ParallelSystem{
+		proto:      proto,
+		inf:        inf,
+		g:          proto.Graph(),
+		radius:     ProtocolRadius(proto),
+		workers:    w,
+		seed:       cfg.Seed,
+		activation: act,
+		record:     cfg.Record,
+		seenN:      proto.Graph().N(),
+	}
+}
+
+// Protocol returns the protocol under execution.
+func (ps *ParallelSystem) Protocol() Protocol { return ps.proto }
+
+// Workers returns the worker/shard count.
+func (ps *ParallelSystem) Workers() int { return ps.workers }
+
+// Moves returns the number of executed moves so far.
+func (ps *ParallelSystem) Moves() int64 { return ps.moves }
+
+// Steps returns the number of parallel steps so far.
+func (ps *ParallelSystem) Steps() int64 { return ps.steps }
+
+// Rounds returns the number of completed rounds so far (same
+// definition as System: every processor continuously enabled since the
+// round began has moved or been seen disabled).
+func (ps *ParallelSystem) Rounds() int64 { return ps.rounds }
+
+// WorkUnits returns the counted work so far: one unit per guard
+// evaluation and per executed move, summed over all phases of all
+// steps (the bootstrap scan is excluded — it is a one-time serial cost
+// every worker count pays identically).
+func (ps *ParallelSystem) WorkUnits() int64 { return ps.work }
+
+// SpanUnits returns the counted critical path so far: per step, the
+// largest per-shard phase-A work plus the serial phase-B work. With
+// one worker span equals work; the ratio work/span is the schedule's
+// available parallelism, independent of wall-clock and core count.
+func (ps *ParallelSystem) SpanUnits() int64 { return ps.span }
+
+// Trace returns the recorded move trace in canonical serialization
+// order (per step: shard 0's moves, shard 1's, …, boundary moves).
+// Empty unless ParallelConfig.Record was set.
+func (ps *ParallelSystem) Trace() []Move { return ps.trace }
+
+// FrontierSize returns how many live nodes are currently classified
+// frontier (executed in the serialized boundary pass).
+func (ps *ParallelSystem) FrontierSize() int {
+	ps.ensureInit()
+	return len(ps.frontier)
+}
+
+// EnabledCount returns the number of currently enabled processors.
+func (ps *ParallelSystem) EnabledCount() int {
+	ps.ensureInit()
+	return ps.count
+}
+
+// Silent reports whether no action is enabled anywhere.
+func (ps *ParallelSystem) Silent() bool { return ps.EnabledCount() == 0 }
+
+// ensureInit builds the shard geometry and bootstraps the guard cache
+// with one full scan.
+func (ps *ParallelSystem) ensureInit() {
+	if ps.inited {
+		return
+	}
+	n := ps.g.N()
+	ps.bounds = make([]int, ps.workers+1)
+	for s := 0; s <= ps.workers; s++ {
+		ps.bounds[s] = s * n / ps.workers
+	}
+	ps.shardOf = make([]int32, n)
+	for s := 0; s < ps.workers; s++ {
+		for v := ps.bounds[s]; v < ps.bounds[s+1]; v++ {
+			ps.shardOf[v] = int32(s)
+		}
+	}
+	ps.interior = make([]bool, n)
+	ps.classifyAll()
+	ps.shards = make([]*pshard, ps.workers)
+	for s := 0; s < ps.workers; s++ {
+		ps.shards[s] = &pshard{
+			ps:     ps,
+			id:     s,
+			lo:     ps.bounds[s],
+			hi:     ps.bounds[s+1],
+			rng:    rand.New(rand.NewSource(shardSeed(ps.seed, s))),
+			breach: graph.None,
+		}
+	}
+	ps.brng = rand.New(rand.NewSource(shardSeed(ps.seed, -1)))
+
+	if ps.acts == nil {
+		ps.arena = make([]ActionID, n*actionStride)
+		ps.acts = make([][]ActionID, n)
+		for v := 0; v < n; v++ {
+			ps.acts[v] = ps.arena[v*actionStride : v*actionStride : (v+1)*actionStride]
+		}
+		ps.enabled = make([]bool, n)
+		ps.mark = make([]int64, n)
+		ps.pending = make([]bool, n)
+	}
+	ps.count = 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if ps.g.Alive(id) {
+			ps.acts[v] = ps.proto.Enabled(id, ps.acts[v][:0])
+		} else {
+			ps.acts[v] = ps.acts[v][:0]
+		}
+		on := len(ps.acts[v]) > 0
+		ps.enabled[v] = on
+		if on {
+			ps.count++
+		}
+	}
+	ps.roundOpen = false
+	ps.inited = true
+}
+
+// shardSeed derives a per-shard RNG seed (s = -1 is the boundary pass)
+// with a splitmix64-style mix so nearby seeds do not correlate.
+func shardSeed(seed int64, s int) int64 {
+	z := uint64(seed) + uint64(s+2)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// isInterior recomputes the disjointness test for v: B(v,R) inside
+// v's shard.
+func (ps *ParallelSystem) isInterior(v graph.NodeID) bool {
+	lo, hi := ps.bounds[ps.shardOf[v]], ps.bounds[ps.shardOf[v]+1]
+	ps.infBuf = InfluenceBall(ps.g, v, ps.radius, ps.infBuf[:0])
+	for _, u := range ps.infBuf {
+		if int(u) < lo || int(u) >= hi {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyAll recomputes interior membership for every node and
+// rebuilds the frontier list.
+func (ps *ParallelSystem) classifyAll() {
+	for v := range ps.interior {
+		ps.interior[v] = ps.isInterior(graph.NodeID(v))
+	}
+	ps.rebuildFrontier()
+}
+
+// rebuildFrontier regenerates the ascending frontier list from the
+// interior bitmap.
+func (ps *ParallelSystem) rebuildFrontier() {
+	ps.frontier = ps.frontier[:0]
+	for v, in := range ps.interior {
+		if !in {
+			ps.frontier = append(ps.frontier, graph.NodeID(v))
+		}
+	}
+}
+
+// Step performs one parallel distributed-daemon step: concurrent
+// interior sweeps per shard, a barrier, then the serialized boundary
+// pass. It returns the number of moves that fired; 0 with a nil error
+// and EnabledCount()==0 means the configuration is terminal (with an
+// activation probability below 1 a step can also fire 0 moves by
+// chance, so terminality is EnabledCount, not the return value).
+func (ps *ParallelSystem) Step() (int, error) {
+	ps.ensureInit()
+	if !ps.roundOpen {
+		ps.startRound = true
+		ps.roundOpen = true
+	}
+	if ps.count == 0 {
+		return 0, nil
+	}
+
+	// Phase A: concurrent interior sweeps. Workers share ps.epoch as
+	// the dirty-stamp value — safe because ownership makes their mark
+	// writes disjoint.
+	ps.epoch++
+	var wg sync.WaitGroup
+	for _, sh := range ps.shards {
+		wg.Add(1)
+		go func(sh *pshard) {
+			defer wg.Done()
+			sh.sweep()
+		}(sh)
+	}
+	wg.Wait()
+
+	fired := 0
+	maxShard := int64(0)
+	for _, sh := range ps.shards {
+		if sh.breach != graph.None {
+			return fired, fmt.Errorf(
+				"program: protocol %q influenced node %d outside shard %d [%d,%d) — locality radius %d is under-declared",
+				ps.proto.Name(), sh.breach, sh.id, sh.lo, sh.hi, ps.radius)
+		}
+		w := sh.stepEvals + sh.stepMoves
+		if w > maxShard {
+			maxShard = w
+		}
+		ps.work += w
+		ps.moves += sh.stepMoves
+		fired += int(sh.stepMoves)
+		ps.count += sh.countD
+		ps.pendingCount += sh.pendingD
+		if ps.record {
+			ps.trace = append(ps.trace, sh.trace...)
+		}
+		sh.stepEvals, sh.stepMoves, sh.countD, sh.pendingD = 0, 0, 0, 0
+		sh.trace = sh.trace[:0]
+	}
+	ps.startRound = false
+
+	// Phase B: serialized boundary pass in ascending global order.
+	ps.epoch++
+	ps.dirty = ps.dirty[:0]
+	bWork := int64(0)
+	for _, u := range ps.frontier {
+		if !ps.enabled[u] {
+			continue
+		}
+		if ps.activation < 1 && ps.brng.Float64() >= ps.activation {
+			continue
+		}
+		a := ps.acts[u][0]
+		if len(ps.acts[u]) > 1 {
+			a = ps.acts[u][ps.brng.Intn(len(ps.acts[u]))]
+		}
+		bWork++
+		if !ps.proto.Execute(u, a) {
+			continue
+		}
+		fired++
+		ps.moves++
+		if ps.record {
+			ps.trace = append(ps.trace, Move{Node: u, Action: a})
+		}
+		if ps.pending[u] {
+			ps.pending[u] = false
+			ps.pendingCount--
+		}
+		ps.markDirtySerial(u)
+		if ps.inf != nil {
+			ps.infBuf = ps.inf.Influence(u, a, ps.infBuf[:0])
+			for _, q := range ps.infBuf {
+				ps.markDirtySerial(q)
+			}
+		} else {
+			for _, q := range ps.g.Neighbors(u) {
+				if q != graph.None {
+					ps.markDirtySerial(q)
+				}
+			}
+		}
+		bWork += ps.refreshSerial()
+	}
+	ps.work += bWork
+	ps.span += maxShard + bWork
+	ps.steps++
+
+	if ps.pendingCount == 0 {
+		ps.rounds++
+		ps.roundOpen = false
+	}
+	return fired, nil
+}
+
+// sweep is one worker's phase A: fire every enabled interior node of
+// the shard in ascending order, eagerly repairing the influenced guard
+// caches (ownership keeps every touched index inside the shard).
+func (sh *pshard) sweep() {
+	ps := sh.ps
+	if ps.startRound {
+		for v := sh.lo; v < sh.hi; v++ {
+			if ps.enabled[v] && !ps.pending[v] {
+				ps.pending[v] = true
+				sh.pendingD++
+			}
+		}
+	}
+	for v := sh.lo; v < sh.hi; v++ {
+		if !ps.enabled[v] || !ps.interior[v] {
+			continue
+		}
+		if ps.activation < 1 && sh.rng.Float64() >= ps.activation {
+			continue
+		}
+		id := graph.NodeID(v)
+		a := ps.acts[v][0]
+		if len(ps.acts[v]) > 1 {
+			a = ps.acts[v][sh.rng.Intn(len(ps.acts[v]))]
+		}
+		if !ps.proto.Execute(id, a) {
+			// The cache invariant makes this unreachable for a
+			// well-declared protocol; fire nothing and move on.
+			continue
+		}
+		sh.stepMoves++
+		if ps.record {
+			sh.trace = append(sh.trace, Move{Node: id, Action: a})
+		}
+		if ps.pending[v] {
+			ps.pending[v] = false
+			sh.pendingD--
+		}
+		sh.mark(id)
+		if ps.inf != nil {
+			sh.infBuf = ps.inf.Influence(id, a, sh.infBuf[:0])
+			for _, q := range sh.infBuf {
+				sh.mark(q)
+			}
+		} else {
+			for _, q := range ps.g.Neighbors(id) {
+				if q != graph.None {
+					sh.mark(q)
+				}
+			}
+		}
+		sh.refresh()
+	}
+}
+
+// mark queues u for guard re-evaluation. A node outside the shard is
+// never written (that would be the data race ownership exists to
+// prevent); it is recorded as a breach and reported by Step.
+func (sh *pshard) mark(u graph.NodeID) {
+	if int(u) < sh.lo || int(u) >= sh.hi {
+		if sh.breach == graph.None {
+			sh.breach = u
+		}
+		return
+	}
+	if sh.ps.mark[u] != sh.ps.epoch {
+		sh.ps.mark[u] = sh.ps.epoch
+		sh.dirty = append(sh.dirty, u)
+	}
+}
+
+// refresh re-evaluates the guards of the shard's dirty nodes, keeping
+// the cache invariant inside the shard during phase A.
+func (sh *pshard) refresh() {
+	ps := sh.ps
+	for _, u := range sh.dirty {
+		was := ps.enabled[u]
+		if ps.g.Alive(u) {
+			ps.acts[u] = ps.proto.Enabled(u, ps.acts[u][:0])
+			sh.stepEvals++
+		} else {
+			ps.acts[u] = ps.acts[u][:0]
+		}
+		now := len(ps.acts[u]) > 0
+		if now != was {
+			ps.enabled[u] = now
+			if now {
+				sh.countD++
+			} else {
+				sh.countD--
+			}
+		}
+		if !now && ps.pending[u] {
+			ps.pending[u] = false
+			sh.pendingD--
+		}
+	}
+	// Re-arm the dedup stamps: a later move of the same sweep may
+	// influence these nodes again, and the refresh just performed must
+	// not swallow that re-evaluation. Epochs start at 1, so 0 never
+	// matches. Ownership keeps these writes inside the shard.
+	for _, u := range sh.dirty {
+		ps.mark[u] = 0
+	}
+	sh.dirty = sh.dirty[:0]
+}
+
+// markDirtySerial queues u for the serial refresh (boundary pass and
+// ApplyDelta) — any shard, no ownership restriction.
+func (ps *ParallelSystem) markDirtySerial(u graph.NodeID) {
+	if ps.mark[u] != ps.epoch {
+		ps.mark[u] = ps.epoch
+		ps.dirty = append(ps.dirty, u)
+	}
+}
+
+// refreshSerial re-evaluates the guards of the serial dirty set and
+// returns the number of evaluations performed.
+func (ps *ParallelSystem) refreshSerial() int64 {
+	evals := int64(0)
+	for _, u := range ps.dirty {
+		was := ps.enabled[u]
+		if ps.g.Alive(u) {
+			ps.acts[u] = ps.proto.Enabled(u, ps.acts[u][:0])
+			evals++
+		} else {
+			ps.acts[u] = ps.acts[u][:0]
+		}
+		now := len(ps.acts[u]) > 0
+		if now != was {
+			ps.enabled[u] = now
+			if now {
+				ps.count++
+			} else {
+				ps.count--
+			}
+		}
+		if !now && ps.pending[u] {
+			ps.pending[u] = false
+			ps.pendingCount--
+		}
+	}
+	// Re-arm the dedup stamps, as in pshard.refresh: the boundary pass
+	// refreshes eagerly after every move, and a later move may dirty
+	// the same nodes again within this epoch.
+	for _, u := range ps.dirty {
+		ps.mark[u] = 0
+	}
+	ps.dirty = ps.dirty[:0]
+	return evals
+}
+
+// ApplyDelta incorporates one topology mutation — already applied to
+// the protocol's graph — into the running parallel system. Workers
+// only exist inside Step, so the call always finds the engine
+// quiesced; it runs the protocol's TopologyChanged hook, repairs the
+// guard cache for the touched set plus the returned influence ball
+// (appending cache slots when the delta grew the id space — new ids
+// join the last shard), and re-classifies interior/frontier membership
+// inside the radius-R ball of the touched set, since only nodes that
+// close to the mutation can change sides of the disjointness test.
+func (ps *ParallelSystem) ApplyDelta(d graph.Delta) {
+	var ball []graph.NodeID
+	if ta, ok := ps.proto.(TopologyAware); ok {
+		ps.infBuf = ta.TopologyChanged(d, ps.infBuf[:0])
+		ball = ps.infBuf
+	} else {
+		ps.infBuf = ps.infBuf[:0]
+		for _, u := range d.Touched {
+			ps.infBuf = InfluenceClosedNeighborhood(ps.g, u, ps.infBuf)
+		}
+		ball = ps.infBuf
+	}
+	if n := ps.g.N(); n != ps.seenN {
+		if ps.inited {
+			ps.grow(n)
+		}
+		ps.seenN = n
+	}
+	if !ps.inited {
+		return
+	}
+	ps.epoch++
+	ps.dirty = ps.dirty[:0]
+	for _, u := range d.Touched {
+		ps.markDirtySerial(u)
+	}
+	for _, u := range ball {
+		ps.markDirtySerial(u)
+	}
+	ps.work += ps.refreshSerial()
+	ps.reclassify(d.Touched)
+}
+
+// grow appends cache and geometry slots for a grown id space: the new
+// ids extend the last shard, the arena doubles when exhausted, and the
+// new slots start disabled until their deltas' refresh evaluates them
+// — amortised O(1) per appended node, the same growth contract as
+// System.growCaches.
+func (ps *ParallelSystem) grow(n int) {
+	old := len(ps.acts)
+	if need := n * actionStride; need > cap(ps.arena) {
+		newCap := 2 * cap(ps.arena)
+		if newCap < need {
+			newCap = need
+		}
+		arena := make([]ActionID, newCap)
+		for v := 0; v < old; v++ {
+			slot := arena[v*actionStride : v*actionStride : (v+1)*actionStride]
+			ps.acts[v] = append(slot, ps.acts[v]...)
+		}
+		ps.arena = arena
+	}
+	last := int32(ps.workers - 1)
+	for v := old; v < n; v++ {
+		ps.acts = append(ps.acts, ps.arena[v*actionStride:v*actionStride:(v+1)*actionStride])
+		ps.enabled = append(ps.enabled, false)
+		ps.mark = append(ps.mark, 0)
+		ps.pending = append(ps.pending, false)
+		ps.shardOf = append(ps.shardOf, last)
+		// A fresh node is isolated, so its radius ball is itself:
+		// interior to the last shard until an AddEdge delta
+		// re-classifies it.
+		ps.interior = append(ps.interior, true)
+	}
+	ps.bounds[ps.workers] = n
+	ps.shards[ps.workers-1].hi = n
+}
+
+// reclassify recomputes interior membership for every node within
+// radius R of the touched set and rebuilds the frontier list when any
+// membership flipped.
+func (ps *ParallelSystem) reclassify(touched []graph.NodeID) {
+	changed := false
+	for _, t := range touched {
+		ball := InfluenceBall(ps.g, t, ps.radius, nil)
+		for _, u := range ball {
+			in := ps.isInterior(u)
+			if in != ps.interior[u] {
+				ps.interior[u] = in
+				changed = true
+			}
+		}
+	}
+	if changed {
+		ps.rebuildFrontier()
+	}
+}
+
+// Reshard re-partitions the id space evenly across the workers and
+// re-classifies every node — O(n·R). Call it after a growth campaign
+// has bloated the last shard; the engine never reshards implicitly, so
+// step costs stay predictable.
+func (ps *ParallelSystem) Reshard() {
+	if !ps.inited {
+		return
+	}
+	n := ps.g.N()
+	for s := 0; s <= ps.workers; s++ {
+		ps.bounds[s] = s * n / ps.workers
+	}
+	for s := 0; s < ps.workers; s++ {
+		ps.shards[s].lo = ps.bounds[s]
+		ps.shards[s].hi = ps.bounds[s+1]
+		for v := ps.bounds[s]; v < ps.bounds[s+1]; v++ {
+			ps.shardOf[v] = int32(s)
+		}
+	}
+	ps.classifyAll()
+}
+
+// Invalidate discards the guard cache and round state; the next Step
+// re-scans every guard. Call it after mutating the protocol's
+// configuration behind the engine's back (Restore, Randomize,
+// CorruptNode), exactly as with System.
+func (ps *ParallelSystem) Invalidate() {
+	ps.inited = false
+	ps.roundOpen = false
+	if ps.pendingCount > 0 {
+		for v := range ps.pending {
+			ps.pending[v] = false
+		}
+		ps.pendingCount = 0
+	}
+}
+
+// RunUntil steps the system until pred returns true, the configuration
+// becomes terminal, or maxSteps parallel steps have been taken. pred
+// runs serially between steps.
+func (ps *ParallelSystem) RunUntil(pred func() bool, maxSteps int64) (RunResult, error) {
+	start := RunResult{Moves: ps.moves, Steps: ps.steps, Rounds: ps.rounds}
+	mk := func(conv bool) RunResult {
+		return RunResult{
+			Converged: conv,
+			Moves:     ps.moves - start.Moves,
+			Steps:     ps.steps - start.Steps,
+			Rounds:    ps.rounds - start.Rounds,
+		}
+	}
+	if pred() {
+		return mk(true), nil
+	}
+	for i := int64(0); i < maxSteps; i++ {
+		_, err := ps.Step()
+		if err != nil {
+			return mk(false), err
+		}
+		if pred() {
+			return mk(true), nil
+		}
+		if ps.count == 0 {
+			return mk(false), nil
+		}
+	}
+	return mk(false), nil
+}
+
+// RunUntilLegitimate runs until the protocol's legitimacy predicate
+// holds, checking it serially between parallel steps (incremental
+// witnesses keep global counters and are therefore a serial-phase
+// tool; the parallel engine never arms one).
+func (ps *ParallelSystem) RunUntilLegitimate(maxSteps int64) (RunResult, error) {
+	leg, ok := ps.proto.(Legitimacy)
+	if !ok {
+		return RunResult{}, fmt.Errorf("program: protocol %q has no legitimacy predicate", ps.proto.Name())
+	}
+	return ps.RunUntil(leg.Legitimate, maxSteps)
+}

@@ -1,0 +1,375 @@
+package program_test
+
+// Parallel stepper tests: every execution of the sharded parallel
+// engine (program.ParallelSystem) must be bit-identical to *some*
+// legal serial interleaving of the same moves — the canonical one its
+// trace records. The serial oracle replays the trace through
+// Protocol.Execute on a shadow instance restored to the same initial
+// configuration: every move must fire (its guard held at its turn in
+// the serialization), and the final snapshots must match byte for
+// byte. The suite crosses protocol stacks (radius-1 and radius-2
+// declarations) with topologies and worker counts, checks per-shard
+// RNG determinism, and composes the engine with topology churn —
+// running it under -race is part of the CI matrix (GOMAXPROCS 2 and
+// 8), because ownership violations manifest as either oracle
+// divergence or detector reports.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netorient/internal/daemon"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+)
+
+// parallelProtos is the differential subset: three stacks with default
+// radius 1 plus the radius-2 STNO-over-DFS case.
+func parallelProtos() []string {
+	return []string{"dftc", "bfstree", "dftno/dftc", "stno/dfstree"}
+}
+
+func parallelTopologies(t *testing.T) map[string]func() *graph.Graph {
+	build := func(spec string) func() *graph.Graph {
+		return func() *graph.Graph {
+			g, err := graph.Named(spec)
+			if err != nil {
+				t.Fatalf("graph %q: %v", spec, err)
+			}
+			return g
+		}
+	}
+	return map[string]func() *graph.Graph{
+		"ring:24":  build("ring:24"),
+		"grid:6x6": build("grid:6x6"),
+	}
+}
+
+// replayOracle verifies that trace is a legal serial execution from
+// the initial snapshot and reproduces the final snapshot.
+func replayOracle(t *testing.T, shadow diffTarget, initial, final []byte, trace []program.Move) {
+	t.Helper()
+	if err := shadow.Restore(initial); err != nil {
+		t.Fatalf("oracle restore: %v", err)
+	}
+	for i, mv := range trace {
+		if !shadow.Execute(mv.Node, mv.Action) {
+			t.Fatalf("oracle: move %d/%d (%v@%d) did not fire — not a legal serial interleaving",
+				i, len(trace), mv.Action, mv.Node)
+		}
+	}
+	if !bytes.Equal(shadow.Snapshot(), final) {
+		t.Fatalf("oracle: serial replay of %d moves diverges from the parallel final configuration", len(trace))
+	}
+}
+
+// TestParallelSerialOracle is the differential acceptance suite:
+// protocols × topologies × worker counts, each run to legitimacy and
+// replayed through the serial oracle.
+func TestParallelSerialOracle(t *testing.T) {
+	workerCounts := []int{1, 2, 3, 8}
+	if testing.Short() {
+		workerCounts = []int{2, 8}
+	}
+	builders := protoBuilders()
+	for _, pname := range parallelProtos() {
+		for gname, mkGraph := range parallelTopologies(t) {
+			for _, w := range workerCounts {
+				t.Run(fmt.Sprintf("%s/%s/w%d", pname, gname, w), func(t *testing.T) {
+					g := mkGraph()
+					p, err := builders[pname](g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p.Randomize(rand.New(rand.NewSource(int64(11*w + len(gname)))))
+					initial := p.Snapshot()
+					ps := program.NewParallelSystem(p, program.ParallelConfig{
+						Workers: w, Seed: 99, Record: true,
+					})
+					budget := int64(2000 * (g.N() + g.M()))
+					res, err := ps.RunUntilLegitimate(budget)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Converged {
+						t.Fatalf("no convergence within %d parallel steps (%d moves)", budget, res.Moves)
+					}
+					shadow, err := builders[pname](g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					replayOracle(t, shadow, initial, p.Snapshot(), ps.Trace())
+					if int64(len(ps.Trace())) != ps.Moves() {
+						t.Fatalf("trace length %d != move count %d", len(ps.Trace()), ps.Moves())
+					}
+					if ps.WorkUnits() < ps.SpanUnits() {
+						t.Fatalf("work %d < span %d — critical path exceeds total work", ps.WorkUnits(), ps.SpanUnits())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism pins the per-shard RNG contract: same seed +
+// same worker count ⇒ bit-identical trace and final configuration;
+// the sub-maximal activation probability makes every shard consume
+// randomness on every sweep, so a desynchronised stream cannot hide.
+func TestParallelDeterminism(t *testing.T) {
+	builders := protoBuilders()
+	for _, pname := range []string{"bfstree", "dftno/dftc"} {
+		t.Run(pname, func(t *testing.T) {
+			g1, err := graph.Named("grid:5x5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, _ := graph.Named("grid:5x5")
+			p1, err := builders[pname](g1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := builders[pname](g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1.Randomize(rand.New(rand.NewSource(5)))
+			if err := p2.Restore(p1.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			cfg := program.ParallelConfig{Workers: 3, Seed: 42, Activation: 0.6, Record: true}
+			ps1 := program.NewParallelSystem(p1, cfg)
+			ps2 := program.NewParallelSystem(p2, cfg)
+			for i := 0; i < 120; i++ {
+				n1, err1 := ps1.Step()
+				n2, err2 := ps2.Step()
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if n1 != n2 {
+					t.Fatalf("step %d: fired %d vs %d moves", i, n1, n2)
+				}
+			}
+			tr1, tr2 := ps1.Trace(), ps2.Trace()
+			if len(tr1) != len(tr2) {
+				t.Fatalf("trace lengths diverge: %d vs %d", len(tr1), len(tr2))
+			}
+			for i := range tr1 {
+				if tr1[i] != tr2[i] {
+					t.Fatalf("traces diverge at move %d: %v vs %v", i, tr1[i], tr2[i])
+				}
+			}
+			if !bytes.Equal(p1.Snapshot(), p2.Snapshot()) {
+				t.Fatal("equal seeds and worker counts produced different configurations")
+			}
+		})
+	}
+}
+
+// TestParallelWorkerCountsDiverge documents the other half of the
+// determinism contract: different worker counts are different (still
+// legal) schedules. Both runs must be oracle-accepted even though
+// their traces may differ.
+func TestParallelWorkerCountsDiverge(t *testing.T) {
+	builders := protoBuilders()
+	g, err := graph.Named("grid:5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := builders["bfstree"](g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(9)))
+	initial := p.Snapshot()
+	for _, w := range []int{1, 4} {
+		if err := p.Restore(initial); err != nil {
+			t.Fatal(err)
+		}
+		ps := program.NewParallelSystem(p, program.ParallelConfig{Workers: w, Seed: 4, Record: true})
+		res, err := ps.RunUntilLegitimate(int64(2000 * (g.N() + g.M())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("w=%d: no convergence", w)
+		}
+		shadow, err := builders["bfstree"](g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayOracle(t, shadow, initial, p.Snapshot(), ps.Trace())
+	}
+}
+
+// parallelCacheInvariant asserts the engine's enabled count equals a
+// fresh full guard scan — the dirty-set invariant, observable through
+// the public surface.
+func parallelCacheInvariant(t *testing.T, ps *program.ParallelSystem, p program.Protocol) {
+	t.Helper()
+	g := p.Graph()
+	want := 0
+	var buf []program.ActionID
+	for v := 0; v < g.N(); v++ {
+		if !g.Alive(graph.NodeID(v)) {
+			continue
+		}
+		buf = p.Enabled(graph.NodeID(v), buf[:0])
+		if len(buf) > 0 {
+			want++
+		}
+	}
+	if got := ps.EnabledCount(); got != want {
+		t.Fatalf("cached enabled count %d != fresh scan %d", got, want)
+	}
+}
+
+// TestParallelChurn composes the parallel engine with topology
+// mutations, including id-space growth: steps quiesce the workers, so
+// ApplyDelta repairs the cache and the shard classification in place.
+// The -race CI matrix runs this at GOMAXPROCS 2 and 8.
+func TestParallelChurn(t *testing.T) {
+	builders := protoBuilders()
+	g, err := graph.Named("grid:5x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := builders["bfstree"](g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(3)))
+	ps := program.NewParallelSystem(p, program.ParallelConfig{Workers: 4, Seed: 17, Record: true})
+	apply := func(d graph.Delta, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps.ApplyDelta(d)
+	}
+	step := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			if _, err := ps.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(5)
+	// Edge flap across a shard boundary region.
+	d, err := g.RemoveEdge(11, 12)
+	apply(d, err)
+	step(3)
+	d, err = g.AddEdge(11, 12)
+	apply(d, err)
+	step(3)
+	// Node crash and revive.
+	d, err = g.RemoveNode(7)
+	apply(d, err)
+	step(3)
+	id, d := g.AddNode() // revives slot 7
+	if id != 7 {
+		t.Fatalf("expected revive of slot 7, got %d", id)
+	}
+	ps.ApplyDelta(d)
+	d, err = g.AddEdge(7, 6)
+	apply(d, err)
+	d, err = g.AddEdge(7, 8)
+	apply(d, err)
+	step(3)
+	// Id-space growth: append two fresh nodes and wire them in.
+	for i := 0; i < 2; i++ {
+		nid, d := g.AddNode()
+		if int(nid) != 25+i {
+			t.Fatalf("expected appended id %d, got %d", 25+i, nid)
+		}
+		ps.ApplyDelta(d)
+		dd, err := g.AddEdge(nid, graph.NodeID(i*10))
+		apply(dd, err)
+		step(2)
+	}
+	parallelCacheInvariant(t, ps, p)
+	ps.Reshard()
+	parallelCacheInvariant(t, ps, p)
+	res, err := ps.RunUntilLegitimate(int64(2000 * (g.N() + g.M())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence after churn")
+	}
+	parallelCacheInvariant(t, ps, p)
+}
+
+// TestSystemGrowthAppend locksteps the serial incremental scheduler
+// against the full-scan oracle across an AddNode growth campaign — the
+// append growth path must keep the caches and the round accounting
+// bit-identical to a full rescan.
+func TestSystemGrowthAppend(t *testing.T) {
+	builders := protoBuilders()
+	gi, err := graph.Named("ring:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, _ := graph.Named("ring:8")
+	pi, err := builders["bfstree"](gi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := builders["bfstree"](gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi.Randomize(rand.New(rand.NewSource(21)))
+	if err := pf.Restore(pi.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	inc := program.NewSystem(pi, daemon.NewSynchronous(77))
+	full := program.NewSystemFullScan(pf, daemon.NewSynchronous(77))
+	stepBoth := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			ni, err := inc.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nf, err := full.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ni != nf {
+				t.Fatalf("fired %d vs %d moves", ni, nf)
+			}
+		}
+	}
+	stepBoth(6)
+	for round := 0; round < 4; round++ {
+		idI, dI := gi.AddNode()
+		idF, dF := gf.AddNode()
+		if idI != idF {
+			t.Fatalf("divergent ids %d vs %d", idI, idF)
+		}
+		inc.ApplyDelta(dI)
+		full.ApplyDelta(dF)
+		anchor := graph.NodeID(round * 2)
+		dI2, err := gi.AddEdge(idI, anchor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dF2, _ := gf.AddEdge(idF, anchor)
+		inc.ApplyDelta(dI2)
+		full.ApplyDelta(dF2)
+		stepBoth(5)
+		if inc.EnabledCount() != full.EnabledCount() {
+			t.Fatalf("enabled counts diverge: %d vs %d", inc.EnabledCount(), full.EnabledCount())
+		}
+	}
+	if inc.Moves() != full.Moves() || inc.Rounds() != full.Rounds() {
+		t.Fatalf("accounting diverges: moves %d/%d rounds %d/%d",
+			inc.Moves(), full.Moves(), inc.Rounds(), full.Rounds())
+	}
+	if !bytes.Equal(pi.Snapshot(), pf.Snapshot()) {
+		t.Fatal("growth campaign diverged from the full-scan oracle")
+	}
+}

@@ -68,6 +68,48 @@ type Influencer interface {
 	Influence(v graph.NodeID, a ActionID, buf []graph.NodeID) []graph.NodeID
 }
 
+// LocalityRadius is the symmetric, distance-based strengthening of the
+// Influencer contract that the sharded parallel stepper
+// (ParallelSystem) relies on. A protocol declaring radius R promises,
+// for every reachable configuration, every node v and every action a:
+//
+//   - the guard and statement of (v, a) read only variables of nodes
+//     in the closed ball B(v,R) = {u : dist(u,v) ≤ R};
+//   - the statement writes only v's own variables;
+//   - Influence(v, a, ·) ⊆ B(v,R).
+//
+// Unlike an Influence set, a ball is symmetric — u ∈ B(v,R) ⟺
+// v ∈ B(u,R) — which is what turns the locality declaration into a
+// commutativity rule: if B(v,R) lies entirely inside one shard, no
+// node outside that shard can read or be influenced by a move at v,
+// so such moves from different shards commute and may execute
+// concurrently. Protocols without the interface get the model's
+// default, radius 1 (guards read the closed neighbourhood, statements
+// write the mover). Declaring too small a radius silently corrupts
+// parallel executions — the same soundness rule as Influencer, audited
+// by the parallel-vs-serial differential suite.
+//
+// "Variables" above means state that moves can write. Derived facts
+// that only change in the engine's serial phases — reference namings
+// and target vectors rebuilt by TopologyChanged or an authority
+// rebinding, never by Execute — are exempt: guards may read them from
+// any distance, because they are constant while workers run (DFTNO's
+// guards read the global reference naming and still declare the
+// default radius 1 for exactly this reason).
+type LocalityRadius interface {
+	LocalityRadius() int
+}
+
+// ProtocolRadius returns p's declared locality radius, defaulting to 1.
+func ProtocolRadius(p Protocol) int {
+	if lr, ok := p.(LocalityRadius); ok {
+		if r := lr.LocalityRadius(); r > 1 {
+			return r
+		}
+	}
+	return 1
+}
+
 // TopologyAware is the dynamic-topology half of the locality story: a
 // protocol that can keep running across in-place mutations of its
 // communication graph (graph.AddEdge / RemoveEdge / AddNode /

@@ -103,7 +103,8 @@ type System struct {
 	witness Witness
 
 	// seenN is the node count the caches were sized for; ApplyDelta
-	// falls back to a full Invalidate when a delta grew the id space.
+	// appends fresh slots (amortised O(1) each) when a delta grew the
+	// id space.
 	seenN int
 
 	// Reusable buffers.
@@ -202,10 +203,17 @@ func (s *System) Invalidate() {
 // is sound only for protocols whose guards and derived facts are
 // 1-hop local and hole-tolerant; anything else should either implement
 // the hook or use Invalidate. A delta that grew the node id space
-// (AddNode past the original N) degrades to a full Invalidate: cache
-// geometry is per-node, and re-sizing it is Θ(n) anyway. Witnesses
-// stay armed across ApplyDelta; if the hook invalidated the protocol's
-// counters they lazily re-arm on the next legitimacy query.
+// (AddNode past every dead slot) takes the append growth path: the
+// per-node cache geometry is extended in place with capacity doubling
+// (the Fenwick index is kept sized to a power-of-two capacity with a
+// zero tail, so a grown leaf is one O(log n) flip, not a rebuild), the
+// new node's guards join the delta's dirty set, and round tracking
+// stays open — amortised O(1) per appended node, which is what lets a
+// graph grow live to 10⁶–10⁷ nodes without Θ(n) per AddNode. Witnesses
+// stay armed across ApplyDelta, except across growth (their per-node
+// counters are sized to the old id space); a dropped witness lazily
+// re-arms on the next legitimacy query. If the hook invalidated the
+// protocol's counters they likewise re-arm lazily.
 func (s *System) ApplyDelta(d graph.Delta) {
 	var ball []graph.NodeID
 	if ta, ok := s.proto.(TopologyAware); ok {
@@ -218,14 +226,17 @@ func (s *System) ApplyDelta(d graph.Delta) {
 		}
 		ball = s.infBuf
 	}
-	if s.g.N() != s.seenN {
-		// The id space grew: per-node cache geometry is stale in both
-		// scheduler modes. Rebuild from scratch (and restart round
-		// tracking in both, keeping them lockstep).
-		s.seenN = s.g.N()
-		s.acts = nil
-		s.Invalidate()
-		return
+	if n := s.g.N(); n != s.seenN {
+		// The id space grew. Append cache slots for the new ids (the
+		// new nodes are isolated until their AddEdge deltas arrive, so
+		// the touched set below covers every guard the growth can
+		// change); the witness is dropped — its counters are per-node —
+		// and re-arms on the next legitimacy query.
+		if s.acts != nil {
+			s.growCaches(n)
+		}
+		s.seenN = n
+		s.witness = nil
 	}
 	if s.fullScan {
 		// No guard cache to repair; the delta is a settle point for
@@ -285,13 +296,17 @@ func (s *System) ensureInit() {
 			s.acts[v] = s.arena[v*actionStride : v*actionStride : (v+1)*actionStride]
 		}
 		s.enabled = make([]bool, n)
-		s.fen = make([]int32, n+1)
 		s.mark = make([]int64, n)
 		s.pending = make([]bool, n)
+		// The Fenwick index is sized to a power-of-two capacity ≥ n
+		// with an all-zero tail, so an AddNode that grows the id space
+		// extends it with one leaf flip instead of a rebuild
+		// (growCaches re-doubles the capacity when the tail runs out).
 		s.fenHigh = 1
-		for s.fenHigh<<1 <= n {
+		for s.fenHigh < n {
 			s.fenHigh <<= 1
 		}
+		s.fen = make([]int32, s.fenHigh+1)
 	}
 	for i := range s.fen {
 		s.fen[i] = 0
@@ -313,14 +328,68 @@ func (s *System) ensureInit() {
 			s.count++
 		}
 	}
-	// Linear Fenwick build from the leaf bits.
-	for i := 1; i <= n; i++ {
-		if j := i + (i & -i); j <= n {
+	// Linear Fenwick build from the leaf bits (the capacity tail past
+	// n holds zero leaves and stays zero).
+	for i := 1; i < len(s.fen); i++ {
+		if j := i + (i & -i); j < len(s.fen) {
 			s.fen[j] += s.fen[i]
 		}
 	}
 	s.memoIdx = -1
 	s.inited = true
+}
+
+// growCaches extends the per-node cache geometry from len(acts) to n
+// slots, in place: the arena doubles its capacity when exhausted
+// (rebasing every cached list so steady-state guard refreshes stay
+// allocation-free), per-node arrays append zero slots, and the Fenwick
+// index re-doubles only when n outgrows its power-of-two capacity —
+// otherwise the new leaves land in its existing zero tail for free.
+// Amortised over a growth campaign this is O(1) per appended node,
+// versus the Θ(n) invalidate-and-rescan the seed runner paid. The new
+// slots start disabled; the caller marks the grown ids dirty so their
+// guards are evaluated before the next selection.
+func (s *System) growCaches(n int) {
+	old := len(s.acts)
+	if need := n * actionStride; need > cap(s.arena) {
+		newCap := 2 * cap(s.arena)
+		if newCap < need {
+			newCap = need
+		}
+		arena := make([]ActionID, newCap)
+		for v := 0; v < old; v++ {
+			slot := arena[v*actionStride : v*actionStride : (v+1)*actionStride]
+			s.acts[v] = append(slot, s.acts[v]...)
+		}
+		s.arena = arena
+	}
+	for v := old; v < n; v++ {
+		s.acts = append(s.acts, s.arena[v*actionStride:v*actionStride:(v+1)*actionStride])
+		s.enabled = append(s.enabled, false)
+		s.mark = append(s.mark, 0)
+		s.pending = append(s.pending, false)
+	}
+	if n > s.fenHigh {
+		capN := s.fenHigh
+		if capN < 1 {
+			capN = 1
+		}
+		for capN < n {
+			capN <<= 1
+		}
+		fen := make([]int32, capN+1)
+		for v := 0; v < old; v++ {
+			if s.enabled[v] {
+				fen[v+1] = 1
+			}
+		}
+		for i := 1; i < len(fen); i++ {
+			if j := i + (i & -i); j < len(fen) {
+				fen[j] += fen[i]
+			}
+		}
+		s.fen, s.fenHigh = fen, capN
+	}
 }
 
 // fenFlip adds delta (±1) to node v's enabled bit.
