@@ -142,10 +142,14 @@ func run(args []string) error {
 		soakWall   = fs.Duration("soak-wall", 0, "wall-clock budget for the soak (0 = unbounded)")
 		leaveSplit = fs.Int("leave-split", 0, "soak: number of cuts never healed — components that never reunite")
 		corruptPr  = fs.Float64("corrupt-rate", 0, "soak: per-phase probability of a transient state fault on top of the topology mutation")
-		workersN   = fs.Int("workers", 1, "plain campaign scheduler: 1 = serial under -daemon; 0 = sharded parallel stepper with GOMAXPROCS workers; N>1 = parallel with N workers")
+		workersN   = fs.Int("workers", 1, "campaign engine: 1 = serial under -daemon; 0 = sharded parallel stepper with GOMAXPROCS workers; N>1 = parallel with N workers (applies to plain, churn, soak and fault campaigns)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	effWorkers := *workersN
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	g, err := graph.Named(*spec)
@@ -173,10 +177,18 @@ func run(args []string) error {
 	if budget <= 0 {
 		budget = int64(50000 * (g.N() + g.M()))
 	}
+	// newEngine picks the campaign's execution engine from -workers:
+	// the serial incremental scheduler under -daemon, or the sharded
+	// parallel stepper (its own maximal distributed daemon).
+	newEngine := func(seed int64) program.Stepper {
+		if effWorkers == 1 {
+			return program.NewSystem(p, mkDaemon(0))
+		}
+		return program.NewParallelSystem(p, program.ParallelConfig{Workers: effWorkers, Seed: seed})
+	}
 
 	if *soakN > 0 {
-		sys := program.NewSystem(p, mkDaemon(0))
-		run := &churn.Runner{G: g, Sys: sys, Root: 0}
+		run := &churn.Runner{G: g, Sys: newEngine(*seed), Root: 0}
 		st, err := run.Soak(fp, churn.SoakConfig{
 			Seed:        *seed,
 			Phases:      *soakN,
@@ -245,8 +257,7 @@ func run(args []string) error {
 		if (*churnKind == "bridge" || *churnKind == "island") && !*allowDis {
 			return fmt.Errorf("churn kind %q splits the graph; it needs -allow-disconnect", *churnKind)
 		}
-		sys := program.NewSystem(p, mkDaemon(0))
-		run := &churn.Runner{G: g, Sys: sys, Root: 0}
+		run := &churn.Runner{G: g, Sys: newEngine(*seed), Root: 0}
 		st, err := run.Run(churn.Config{
 			Seed:            *seed,
 			Events:          *churnN,
@@ -311,12 +322,17 @@ func run(args []string) error {
 	}
 
 	if *faults > 0 {
+		campaignWorkers := 0
+		if effWorkers > 1 {
+			campaignWorkers = effWorkers
+		}
 		out, err := fault.Campaign{
 			Faults:    *faults,
 			Trials:    *trials,
 			MaxSteps:  budget,
 			Seed:      *seed,
 			NewDaemon: mkDaemon,
+			Workers:   campaignWorkers,
 		}.Run(p)
 		if err != nil {
 			return err

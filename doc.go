@@ -231,6 +231,51 @@
 // records detection latency and re-anchoring cost against the global
 // restart the failover replaces.
 //
+// # Message-passing deployment
+//
+// The guarded-command daemon model is the paper's abstraction; real
+// networks deliver messages. internal/actor closes that gap with an
+// actor-style runtime: one goroutine and one bounded mailbox per
+// node, messages only along graph links, and a configurable delivery
+// policy (FIFO per link by default; seeded drop and bounded-reorder
+// fault injection for adversarial runs). The transformer follows the
+// request/reply family of Bernard–Devismes–Potop-Butucaru–Tixeuil
+// (arXiv:0805.0851): each node caches versioned neighbour states, and
+// a move fires only when every cached state in the action's declared
+// influence ball is provably fresh — the node re-requests stale
+// entries and retries. Guards are re-validated under the runtime's
+// state mutex at fire time, which yields the *daemon-projection
+// guarantee*: the mutex order of fired moves is a legal
+// central-daemon execution of the same protocol, so every safety and
+// convergence property proved in the daemon model transfers to the
+// message runtime. The guarantee is checked, not assumed —
+// actor.CheckProjection replays each recorded execution move-for-move
+// on a serial full-scan oracle through program.ScriptDaemon (every
+// replayed move must be enabled when scheduled) and requires
+// byte-identical final snapshots, across protocols, topologies and
+// fault policies in the differential suite. Liveness needs no
+// synchrony: sends never block (full mailboxes drop and the
+// supervisor's periodic tick re-prods enabled nodes), so any drop
+// rate below one keeps convergence almost-sure.
+//
+// cmd/orientd is the deployment form: a long-running service that
+// boots any of the five stacks — wrapped in root failover — on a
+// graph.Named topology, stabilizes continuously on the actor runtime,
+// and serves a JSON-line admin protocol on a Unix or TCP socket.
+// Query verbs (status, legitimacy, orientation, enabled, metrics)
+// answer off the O(1) witness counters, so many concurrent clients
+// can watch legitimacy and per-component acting-root state live while
+// stabilization runs; fault verbs (corrupt, flap, cut, heal,
+// crash-root, revive) inject the same perturbations the simulation
+// campaigns use, and `orientd -smoke` drives the whole lifecycle —
+// converge, hammer with parallel clients, inject faults, re-converge,
+// clean shutdown — as a CI gate. The failover election can be
+// weighted (failover.Protocol.WeightElection): acting-root candidates
+// then compete on a lexicographic (operator priority, degree, id) key
+// advertised hop-by-hop with the candidate id, so pinned or highly
+// connected nodes win orphan components instead of the bare maximum
+// id, with the same count-to-the-bound decay for stale claims.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. All implementation lives under internal/;
 // the runnable entry points are the programs in cmd/ and examples/.

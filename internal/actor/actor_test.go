@@ -1,0 +1,444 @@
+package actor
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"netorient/internal/core"
+	"netorient/internal/graph"
+	"netorient/internal/program"
+	"netorient/internal/spantree"
+	"netorient/internal/token"
+)
+
+// The differential matrix: stacks × topologies. Each case runs an
+// adversarially-initialized protocol on the message runtime and then
+// projects the execution onto the serial oracle (CheckProjection).
+type stackCase struct {
+	name  string
+	build func(g *graph.Graph) (program.Protocol, error)
+}
+
+func stacks() []stackCase {
+	return []stackCase{
+		{"bfstree", func(g *graph.Graph) (program.Protocol, error) {
+			return spantree.NewBFSTree(g, 0)
+		}},
+		{"token", func(g *graph.Graph) (program.Protocol, error) {
+			return token.NewCirculator(g, 0)
+		}},
+		{"dftno", func(g *graph.Graph) (program.Protocol, error) {
+			sub, err := token.NewCirculator(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewDFTNO(g, sub, 0)
+		}},
+		{"stno", func(g *graph.Graph) (program.Protocol, error) {
+			sub, err := spantree.NewBFSTree(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewSTNO(g, sub, 0)
+		}},
+	}
+}
+
+type topoCase struct {
+	name  string
+	build func() *graph.Graph
+}
+
+func topologies() []topoCase {
+	return []topoCase{
+		{"grid4x4", func() *graph.Graph { return graph.Grid(4, 4) }},
+		{"ring9", func() *graph.Graph { return graph.Ring(9) }},
+	}
+}
+
+func runProjection(t *testing.T, sc stackCase, tc topoCase, cfg Config, seed int64) {
+	t.Helper()
+	g := tc.build()
+	p, err := sc.build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz, ok := p.(program.Randomizer); ok {
+		rz.Randomize(rand.New(rand.NewSource(seed)))
+	}
+	cfg.Seed = seed
+	cfg.Record = true
+	rt, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntilLegitimate(context.Background(), 60*time.Second); err != nil {
+		t.Fatalf("convergence: %v", err)
+	}
+	rt.Stop()
+	if leg, ok := p.(program.Legitimacy); ok && !leg.Legitimate() {
+		t.Fatal("runtime reported legitimate but O(n) predicate disagrees")
+	}
+	oracle, err := sc.build(tc.build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckProjection(rt, oracle); err != nil {
+		t.Fatalf("projection: %v", err)
+	}
+	m := rt.Metrics()
+	if m.Moves == 0 || m.MoveLogLen == 0 {
+		t.Fatalf("no moves recorded (moves=%d log=%d)", m.Moves, m.MoveLogLen)
+	}
+	if int64(m.MoveLogLen) != m.Moves {
+		t.Fatalf("move log length %d != move counter %d", m.MoveLogLen, m.Moves)
+	}
+}
+
+// TestProjectionReliableLinks: every stack × topology under clean FIFO
+// delivery projects onto a legal central-daemon execution and replays
+// byte-identically on the Θ(n) full-scan oracle.
+func TestProjectionReliableLinks(t *testing.T) {
+	for _, sc := range stacks() {
+		for _, tc := range topologies() {
+			t.Run(sc.name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				runProjection(t, sc, tc, Config{}, 7)
+			})
+		}
+	}
+}
+
+// TestProjectionFaultyLinks: same matrix under seeded message drop and
+// reorder plus a tiny mailbox. The projection guarantee is delivery-
+// independent: whatever interleaving the faults induce, the fired
+// moves still form a legal serial execution.
+func TestProjectionFaultyLinks(t *testing.T) {
+	for _, sc := range stacks() {
+		for _, tc := range topologies() {
+			t.Run(sc.name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				runProjection(t, sc, tc, Config{
+					Drop:    0.3,
+					Reorder: 0.3,
+					HoldMax: 3,
+					Mailbox: 4,
+				}, 11)
+			})
+		}
+	}
+}
+
+// TestProjectionDetectsTamperedLog: corrupting one recorded move must
+// make the oracle replay fail — the differential check has teeth.
+func TestProjectionDetectsTamperedLog(t *testing.T) {
+	g := graph.Ring(6)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(3)))
+	rt, err := New(p, Config{Seed: 3, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntilLegitimate(context.Background(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop()
+	if len(rt.moveLog) == 0 {
+		t.Fatal("empty move log")
+	}
+	rt.moveLog[len(rt.moveLog)/2].Action += 1000
+	oracle, err := spantree.NewBFSTree(graph.Ring(6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckProjection(rt, oracle); err == nil {
+		t.Fatal("tampered log replayed cleanly")
+	}
+}
+
+// TestBackpressureMailboxOne: capacity-1 mailboxes drop most broadcast
+// traffic, so convergence leans entirely on the request/reply recovery
+// path and supervisor ticks. Sends never block, so no deadlock.
+func TestBackpressureMailboxOne(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(5)))
+	rt, err := New(p, Config{Seed: 5, Mailbox: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntilLegitimate(context.Background(), 60*time.Second); err != nil {
+		t.Fatalf("convergence under backpressure: %v", err)
+	}
+	rt.Stop()
+	if !p.Legitimate() {
+		t.Fatal("not legitimate")
+	}
+}
+
+// TestRunTimeoutMidDelivery: heavy drop slows convergence far past a
+// tiny deadline; Run must return ErrTimeout with messages still in
+// flight and shut down cleanly (leak check is in TestNoGoroutineLeaks).
+func TestRunTimeoutMidDelivery(t *testing.T) {
+	g := graph.Grid(5, 5)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(9)))
+	rt, err := New(p, Config{Seed: 9, Drop: 0.9, Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run(context.Background(), func() bool { return false }, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+}
+
+// TestCancelBeforeFirstMessage: a context cancelled before Run is even
+// called must abort immediately, before any protocol message lands.
+func TestCancelBeforeFirstMessage(t *testing.T) {
+	g := graph.Ring(5)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = rt.Run(ctx, func() bool { return false }, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestDoubleStartAndIdempotentStop: a Runtime runs at most once;
+// Stop is idempotent and safe to call repeatedly.
+func TestDoubleStartAndIdempotentStop(t *testing.T) {
+	g := graph.Ring(4)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(p, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+	rt.Stop()
+	rt.Stop()
+	if err := rt.Start(); err == nil {
+		t.Fatal("Start after Stop succeeded")
+	}
+}
+
+// TestCorruptNodeReconverges: service mode — Start, converge, inject a
+// corruption through the admin surface, watch the armed witness notice
+// and re-converge, and confirm the corruption invalidated the
+// projection recording.
+func TestCorruptNodeReconverges(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(21)))
+	rt, err := New(p, Config{Seed: 21, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	waitFor := func(what string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for !rt.Legitimate() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("initial convergence")
+	before := rt.Metrics().Convergences
+	if err := rt.CorruptNode(5); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("re-convergence after corruption")
+	if rt.MoveLog() != nil {
+		t.Fatal("corruption did not invalidate the move log")
+	}
+	_ = before // convergence counting is tick-sampled; presence checked in metrics test
+}
+
+// TestApplyDeltaResync: flap an edge through the admin surface while
+// the runtime is live; the global version bump forces a resync and the
+// protocol re-converges on the new topology both times.
+func TestApplyDeltaResync(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(31)))
+	rt, err := New(p, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	waitFor := func(what string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for !rt.Legitimate() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("initial convergence")
+	var d graph.Delta
+	rt.Locked(func() {
+		var err error
+		d, err = g.RemoveEdge(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	rt.ApplyDelta(d)
+	waitFor("convergence after edge removal")
+	rt.Locked(func() {
+		var err error
+		d, err = g.AddEdge(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	rt.ApplyDelta(d)
+	waitFor("convergence after edge restore")
+	if !p.Legitimate() {
+		t.Fatal("not legitimate on restored topology")
+	}
+}
+
+// TestMetricsAccounting: counters move, conservation holds between
+// sent and its disposition counters, and the convergence counter
+// registers the first illegitimate→legitimate transition.
+func TestMetricsAccounting(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(41)))
+	rt, err := New(p, Config{Seed: 41, Tick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntilLegitimate(context.Background(), 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let the supervisor observe the legitimate state at least once.
+	time.Sleep(20 * time.Millisecond)
+	rt.Stop()
+	m := rt.Metrics()
+	if m.Sent == 0 || m.Delivered == 0 || m.Moves == 0 {
+		t.Fatalf("dead counters: %+v", m)
+	}
+	disposed := m.Delivered + m.DroppedFault + m.DroppedFull + m.DroppedLink + m.Held
+	if disposed < m.Sent {
+		t.Fatalf("message accounting leak: sent=%d disposed=%d", m.Sent, disposed)
+	}
+	if !m.Legitimate {
+		t.Fatal("metrics say illegitimate after convergence")
+	}
+	if m.EnabledCount != 0 {
+		// BFS tree is silent once legitimate.
+		t.Fatalf("enabled count %d after silence", m.EnabledCount)
+	}
+	if m.Convergences == 0 {
+		t.Fatal("no convergence event recorded")
+	}
+}
+
+// TestNoGoroutineLeaks drives every exit path — success, timeout,
+// pre-cancelled context, service Start/Stop with a topology-grown
+// actor set — and asserts the goroutine count returns to baseline.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	mk := func(seed int64) *Runtime {
+		g := graph.Grid(4, 4)
+		p, err := spantree.NewBFSTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Randomize(rand.New(rand.NewSource(seed)))
+		rt, err := New(p, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+
+	// Success path.
+	if err := mk(1).RunUntilLegitimate(context.Background(), 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Timeout path.
+	if err := mk(2).Run(context.Background(), func() bool { return false }, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal(err)
+	}
+	// Cancel path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := mk(3).Run(ctx, func() bool { return false }, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	// Service path with a mid-run delta.
+	rt := mk(4)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var d graph.Delta
+	rt.Locked(func() {
+		var err error
+		d, err = rt.Protocol().Graph().RemoveEdge(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	rt.ApplyDelta(d)
+	rt.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,59 @@
+package actor
+
+import (
+	"bytes"
+	"fmt"
+
+	"netorient/internal/program"
+)
+
+// CheckProjection verifies the runtime's projection guarantee against
+// the serial oracle: the recorded move log of a message-runtime
+// execution must be a legal central-daemon execution (every scripted
+// move enabled at its step, independently re-derived by the Θ(n)
+// full-scan scheduler through a program.ScriptDaemon) and must replay
+// to a byte-identical final configuration.
+//
+// rt must have run with Config.Record and be stopped; oracle must be a
+// fresh instance of the same protocol on an identical topology,
+// implementing program.Snapshotter. Same lockstep discipline as the
+// incremental-vs-fullscan and parallel-vs-serial differential suites.
+func CheckProjection(rt *Runtime, oracle program.Protocol) error {
+	sn, ok := oracle.(program.Snapshotter)
+	if !ok {
+		return fmt.Errorf("actor: oracle %s does not implement Snapshotter", oracle.Name())
+	}
+	initial := rt.InitialSnapshot()
+	if initial == nil {
+		return fmt.Errorf("actor: runtime did not record (Config.Record off)")
+	}
+	log := rt.MoveLog()
+	if log == nil {
+		return fmt.Errorf("actor: move log invalidated (topology delta or corruption during the run)")
+	}
+	final := rt.Snapshot()
+	if err := sn.Restore(initial); err != nil {
+		return fmt.Errorf("actor: oracle restore: %w", err)
+	}
+	sd := program.NewScriptDaemon(log)
+	sys := program.NewSystemFullScan(oracle, sd)
+	for i := range log {
+		n, err := sys.Step()
+		if err != nil {
+			return fmt.Errorf("actor: oracle step %d: %w", i, err)
+		}
+		if sd.Err != nil {
+			return fmt.Errorf("actor: projection illegal: %w", sd.Err)
+		}
+		if n != 1 {
+			return fmt.Errorf("actor: oracle step %d: scripted move (node %d, action %d) did not fire",
+				i, log[i].Node, log[i].Action)
+		}
+	}
+	got := sn.Snapshot()
+	if !bytes.Equal(got, final) {
+		return fmt.Errorf("actor: replay diverged: oracle snapshot (%d bytes) != runtime snapshot (%d bytes) after %d moves",
+			len(got), len(final), len(log))
+	}
+	return nil
+}

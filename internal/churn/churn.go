@@ -136,11 +136,14 @@ var (
 	ErrNoCandidate = errors.New("churn: no connectivity-preserving candidate")
 )
 
-// Runner binds a system to its graph for a churn run. The protocol
-// must be the one the System drives, over exactly this graph.
+// Runner binds an execution engine to its graph for a churn run. Any
+// program.Stepper works — the serial incremental scheduler, the
+// full-scan oracle, or the sharded parallel stepper — so one campaign
+// definition runs under every engine. The protocol must be the one the
+// engine drives, over exactly this graph.
 type Runner struct {
 	G    *graph.Graph
-	Sys  *program.System
+	Sys  program.Stepper
 	Root graph.NodeID
 }
 

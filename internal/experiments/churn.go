@@ -219,7 +219,16 @@ func t13Rate(cfg Config, tb *trace.Table, name string, g *graph.Graph, period in
 	if err != nil {
 		return err
 	}
-	sys := program.NewSystem(d, daemon.NewCentral(cfg.Seed))
+	// The churn-rate sweep measures recovery inside the period, which
+	// is engine-independent — so it honors Config.Workers: >0 runs the
+	// schedule on the sharded parallel stepper (benchtab -workers),
+	// default stays the serial scheduler the committed baselines used.
+	var sys program.Stepper
+	if cfg.Workers > 0 {
+		sys = program.NewParallelSystem(d, program.ParallelConfig{Workers: cfg.Workers, Seed: cfg.Seed})
+	} else {
+		sys = program.NewSystem(d, daemon.NewCentral(cfg.Seed))
+	}
 	run := &churn.Runner{G: g, Sys: sys, Root: 0}
 	events := cfg.trials(12)
 	st, err := run.Run(churn.Config{

@@ -49,6 +49,10 @@ func T4Recovery(cfg Config) (*trace.Table, error) {
 				NewDaemon: func(trial int) program.Daemon {
 					return daemon.NewCentral(cfg.Seed + int64(trial))
 				},
+				// benchtab -workers: run each trial on the parallel
+				// stepper; the default (0) keeps the serial engine the
+				// committed baselines used.
+				Workers: cfg.Workers,
 			}.Run(target)
 			if err != nil {
 				return nil, fmt.Errorf("T4: %s k=%d: %w", st.name, k, err)

@@ -24,7 +24,11 @@
 //     candidate; a neighbour's strictly larger lid is adopted at
 //     ldist+1 while ldist+1 < N, so stale ids of dead leaders decay by
 //     counting up (the same bound as detection). At the fixpoint lid_v
-//     is the largest live id in v's component.
+//     is the largest live id in v's component. WeightElection switches
+//     the contest to the lexicographic (priority, degree, id) key so
+//     operator-pinned or highly connected nodes win acting-root duty;
+//     candidates advertise their own key and adopters copy it, keeping
+//     guards one-hop local.
 //
 // An orphaned node that elects itself — Orphaned(v) ∧ lid_v = v — is
 // an acting root. The wrapper exposes the verdict to the wrapped stack
@@ -77,6 +81,23 @@ type Protocol struct {
 	lid   []int
 	ldist []int
 
+	// Weighted acting-root election (WeightElection): candidates
+	// compete on the lexicographic key (priority, degree, id) instead
+	// of bare id. prio holds the operator pins; lprio/ldeg carry the
+	// *advertised* priority and degree of the candidate in lid — the
+	// origin re-derives its own advertisement from its true priority
+	// and degree, adopters copy it verbatim, so election guards still
+	// read one hop only (a remote degree lookup would break the
+	// incremental scheduler's locality contract). Stale or fabricated
+	// advertisements decay exactly like stale ids: they are never
+	// re-anchored at distance 0, so adoption counts their ldist up to
+	// the bound. Off by default — the bare max-id path is bit-identical
+	// to the unweighted wrapper.
+	weighted bool
+	prio     []int64
+	lprio    []int64
+	ldeg     []int
+
 	// rootsVer is the program.RootAuthority staleness key: bumped on
 	// every IsRoot verdict flip an Execute causes, and conservatively
 	// on every node-liveness delta (which can flip verdicts without
@@ -125,6 +146,9 @@ func New(g *graph.Graph, inner Inner, root graph.NodeID) *Protocol {
 		epoch: make([]uint64, n),
 		lid:   make([]int, n),
 		ldist: make([]int, n),
+		prio:  make([]int64, n),
+		lprio: make([]int64, n),
+		ldeg:  make([]int, n),
 		flaps: make([]int64, n),
 	}
 	for v := 0; v < n; v++ {
@@ -136,6 +160,34 @@ func New(g *graph.Graph, inner Inner, root graph.NodeID) *Protocol {
 	inner.BindRootAuthority(p)
 	return p
 }
+
+// WeightElection switches the acting-root election to the weighted
+// (priority, degree, id) key and re-stabilizes the wrapper layers to
+// the new fixpoint synchronously. pins maps nodes to operator
+// priorities (unpinned nodes compete at priority 0, so with a nil map
+// the highest-degree node wins, ties broken by id). A configuration
+// call like New, not a protocol move: invoke it before handing the
+// stack to an engine, or follow it with the engine's Invalidate.
+func (p *Protocol) WeightElection(pins map[graph.NodeID]int64) {
+	p.weighted = true
+	for v := range p.prio {
+		p.prio[v] = 0
+	}
+	for v, w := range pins {
+		if int(v) < len(p.prio) {
+			p.prio[v] = w
+		}
+	}
+	p.stabilizeOwn()
+	p.rootsVer++
+	p.wit.Invalidate()
+}
+
+// Weighted reports whether the weighted election is active.
+func (p *Protocol) Weighted() bool { return p.weighted }
+
+// Priority returns node v's operator pin (0 unless pinned).
+func (p *Protocol) Priority(v graph.NodeID) int64 { return p.prio[v] }
 
 // stabilizeOwn runs synchronous sweeps of both layers' assignment
 // rules to their fixpoint — O(diam) sweeps from the constructor's
@@ -152,7 +204,13 @@ func (p *Protocol) stabilizeOwn() {
 				p.dist[v], p.epoch[v] = d, e
 				changed = true
 			}
-			if l, ld := p.desiredElect(id); l != p.lid[v] || ld != p.ldist[v] {
+			if p.weighted {
+				l, lp, lg, ld := p.desiredElectW(id)
+				if l != p.lid[v] || lp != p.lprio[v] || lg != p.ldeg[v] || ld != p.ldist[v] {
+					p.lid[v], p.lprio[v], p.ldeg[v], p.ldist[v] = l, lp, lg, ld
+					changed = true
+				}
+			} else if l, ld := p.desiredElect(id); l != p.lid[v] || ld != p.ldist[v] {
 				p.lid[v], p.ldist[v] = l, ld
 				changed = true
 			}
@@ -220,6 +278,46 @@ func (p *Protocol) desiredElect(v graph.NodeID) (int, int) {
 		}
 	}
 	return best, bd
+}
+
+// keyLess orders weighted-election keys lexicographically:
+// (priority, degree, id), larger wins.
+func keyLess(pa int64, da, ia int, pb int64, db, ib int) bool {
+	if pa != pb {
+		return pa < pb
+	}
+	if da != db {
+		return da < db
+	}
+	return ia < ib
+}
+
+// desiredElectW is the weighted election rule at v: own candidacy
+// advertises v's true (priority, degree, id) at distance 0; a
+// neighbour's strictly larger advertised key is adopted verbatim at
+// ldist+1 while that stays below the bound. Among equal keys the
+// shortest distance wins. Fabricated self-advertisements (lid = v with
+// a wrong key) are repaired directly by the origin's base case; every
+// other stale advertisement decays by the same count-to-the-bound
+// argument as bare max-id.
+func (p *Protocol) desiredElectW(v graph.NodeID) (int, int64, int, int) {
+	best, bp, bg, bd := int(v), p.prio[v], p.g.Degree(v), 0
+	c := p.cap()
+	for _, q := range p.g.Neighbors(v) {
+		if q == graph.None || !p.g.Alive(q) {
+			continue
+		}
+		dq := p.clampDist(p.ldist[q]) + 1
+		if dq >= c {
+			continue
+		}
+		lq, pq, gq := p.lid[q], p.lprio[q], p.ldeg[q]
+		if keyLess(bp, bg, best, pq, gq, lq) ||
+			(lq == best && pq == bp && gq == bg && dq < bd) {
+			best, bp, bg, bd = lq, pq, gq, dq
+		}
+	}
+	return best, bp, bg, bd
 }
 
 // Orphaned reports node v's own verdict on whether its component has
@@ -297,7 +395,12 @@ func (p *Protocol) Enabled(v graph.NodeID, buf []program.ActionID) []program.Act
 	if d, e := p.desiredDetect(v); d != p.dist[v] || e != p.epoch[v] {
 		buf = append(buf, ActDetect)
 	}
-	if l, ld := p.desiredElect(v); l != p.lid[v] || ld != p.ldist[v] {
+	if p.weighted {
+		l, lp, lg, ld := p.desiredElectW(v)
+		if l != p.lid[v] || lp != p.lprio[v] || lg != p.ldeg[v] || ld != p.ldist[v] {
+			buf = append(buf, ActElect)
+		}
+	} else if l, ld := p.desiredElect(v); l != p.lid[v] || ld != p.ldist[v] {
 		buf = append(buf, ActElect)
 	}
 	return buf
@@ -319,6 +422,16 @@ func (p *Protocol) Execute(v graph.NodeID, a program.ActionID) bool {
 		p.noteFlip(v, pre)
 		return true
 	case ActElect:
+		if p.weighted {
+			l, lp, lg, ld := p.desiredElectW(v)
+			if l == p.lid[v] && lp == p.lprio[v] && lg == p.ldeg[v] && ld == p.ldist[v] {
+				return false
+			}
+			pre := p.IsRoot(v)
+			p.lid[v], p.lprio[v], p.ldeg[v], p.ldist[v] = l, lp, lg, ld
+			p.noteFlip(v, pre)
+			return true
+		}
 		l, ld := p.desiredElect(v)
 		if l == p.lid[v] && ld == p.ldist[v] {
 			return false
@@ -424,6 +537,10 @@ func (p *Protocol) violates(v graph.NodeID) bool {
 	if d, e := p.desiredDetect(v); d != p.dist[v] || e != p.epoch[v] {
 		return true
 	}
+	if p.weighted {
+		l, lp, lg, ld := p.desiredElectW(v)
+		return l != p.lid[v] || lp != p.lprio[v] || lg != p.ldeg[v] || ld != p.ldist[v]
+	}
 	l, ld := p.desiredElect(v)
 	return l != p.lid[v] || ld != p.ldist[v]
 }
@@ -483,6 +600,9 @@ func (p *Protocol) TopologyChanged(d graph.Delta, buf []graph.NodeID) []graph.No
 			p.epoch = append(p.epoch, 0)
 			p.lid = append(p.lid, len(p.lid))
 			p.ldist = append(p.ldist, 0)
+			p.prio = append(p.prio, 0)
+			p.lprio = append(p.lprio, 0)
+			p.ldeg = append(p.ldeg, 0)
 			p.flaps = append(p.flaps, 0)
 		}
 		p.rootsVer++ // the bound N grew: saturated counters are no longer saturated
@@ -521,6 +641,10 @@ func (p *Protocol) Snapshot() []byte {
 		n = binary.PutVarint(tmp[:], int64(p.lid[v]))
 		buf = append(buf, tmp[:n]...)
 		n = binary.PutVarint(tmp[:], int64(p.ldist[v]))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutVarint(tmp[:], p.lprio[v])
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutVarint(tmp[:], int64(p.ldeg[v]))
 		buf = append(buf, tmp[:n]...)
 	}
 	return buf
@@ -565,6 +689,14 @@ func (p *Protocol) Restore(data []byte) error {
 		if p.ldist[v], err = getInt(); err != nil {
 			return err
 		}
+		lp, m := binary.Varint(rest)
+		if m <= 0 {
+			return errors.New("failover: truncated snapshot")
+		}
+		p.lprio[v], rest = lp, rest[m:]
+		if p.ldeg[v], err = getInt(); err != nil {
+			return err
+		}
 	}
 	if len(rest) != 0 {
 		return errors.New("failover: trailing snapshot bytes")
@@ -586,6 +718,13 @@ func (p *Protocol) CorruptNode(v graph.NodeID, rng *rand.Rand) {
 	p.epoch[v] = uint64(rng.Intn(4))
 	p.lid[v] = rng.Intn(p.g.N())
 	p.ldist[v] = rng.Intn(p.cap() + 1)
+	if p.weighted {
+		// Extra draws only in weighted mode, so bare-mode seeded
+		// schedules (soak/churn replays) consume exactly four values
+		// per corruption, unchanged.
+		p.lprio[v] = int64(rng.Intn(5)) - 1
+		p.ldeg[v] = rng.Intn(p.cap() + 1)
+	}
 	p.noteFlip(v, pre)
 }
 
@@ -600,6 +739,11 @@ func (p *Protocol) Randomize(rng *rand.Rand) {
 // id, and an epoch word per node on top of the stack.
 func (p *Protocol) StateBits(v graph.NodeID) int {
 	bits := 2*program.Log2Ceil(p.cap()+1) + program.Log2Ceil(p.g.N()) + 64
+	if p.weighted {
+		// Advertised candidate key: a priority word plus a degree
+		// counter bounded by N.
+		bits += 64 + program.Log2Ceil(p.cap()+1)
+	}
 	if m, ok := p.in.(program.SpaceMeter); ok {
 		bits += m.StateBits(v)
 	}

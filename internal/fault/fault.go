@@ -4,11 +4,13 @@
 // measure the moves and rounds until the system is legitimate again —
 // the operational content of Theorems 3.2.3 and 4.2.3.
 //
-// Campaigns run on the incremental scheduler, so for protocols with a
-// program.Witness the per-step legitimacy decision inside each
-// recovery is O(1) (the witness re-arms from scratch on the fresh
-// System each trial builds after corruption); recovery measurements
-// count moves and rounds, which are scheduler-independent.
+// Campaigns run on the incremental scheduler by default, so for
+// protocols with a program.Witness the per-step legitimacy decision
+// inside each recovery is O(1) (the witness re-arms from scratch on
+// the fresh System each trial builds after corruption); recovery
+// measurements count moves and rounds, which are
+// scheduler-independent. Setting Workers > 1 runs each trial on the
+// sharded parallel stepper instead.
 package fault
 
 import (
@@ -42,6 +44,11 @@ type Campaign struct {
 	// NewDaemon builds the daemon for a trial; nil is an error (the
 	// caller chooses the scheduling model explicitly).
 	NewDaemon func(trial int) program.Daemon
+	// Workers > 1 runs each trial on the sharded parallel stepper with
+	// that many workers instead of the serial scheduler; the daemon
+	// factory is then only used as the explicit opt-in marker (the
+	// parallel stepper schedules its own maximal distributed daemon).
+	Workers int
 }
 
 // Outcome aggregates a campaign's results.
@@ -121,6 +128,20 @@ type Churn struct {
 	Seed int64
 	// NewDaemon builds the daemon for a trial; nil is an error.
 	NewDaemon func(trial int) program.Daemon
+	// Workers > 1 runs each trial on the sharded parallel stepper (see
+	// Campaign.Workers).
+	Workers int
+}
+
+// newEngine builds one trial's execution engine: the serial
+// incremental scheduler driving d, or — when workers > 1 — the
+// sharded parallel stepper (which ignores d and runs its own maximal
+// distributed daemon over seeded shards).
+func newEngine(t Target, workers int, seed int64, d program.Daemon) program.Stepper {
+	if workers > 1 {
+		return program.NewParallelSystem(t, program.ParallelConfig{Workers: workers, Seed: seed})
+	}
+	return program.NewSystem(t, d)
 }
 
 // Run executes the churn campaign on t over g (which must be t's
@@ -136,7 +157,7 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 		burst = 1
 	}
 	out := Outcome{Trials: c.Trials}
-	sys := program.NewSystem(t, c.NewDaemon(-1))
+	sys := newEngine(t, c.Workers, c.Seed, c.NewDaemon(-1))
 	if res, err := sys.RunUntilLegitimate(c.MaxSteps); err != nil {
 		return out, err
 	} else if !res.Converged {
@@ -144,7 +165,7 @@ func (c Churn) Run(t Target, root graph.NodeID) (Outcome, error) {
 	}
 
 	for trial := 0; trial < c.Trials; trial++ {
-		sys = program.NewSystem(t, c.NewDaemon(trial))
+		sys = newEngine(t, c.Workers, c.Seed+int64(trial)+1, c.NewDaemon(trial))
 		apply := func(d graph.Delta) { sys.ApplyDelta(d) }
 		var restores []func() error
 		specialDown := false // the per-trial crash/bridge/island/partition fired
@@ -303,7 +324,7 @@ func (c Campaign) Run(t Target) (Outcome, error) {
 	}
 
 	out := Outcome{Trials: c.Trials}
-	sys := program.NewSystem(t, c.NewDaemon(-1))
+	sys := newEngine(t, c.Workers, c.Seed, c.NewDaemon(-1))
 	if res, err := sys.RunUntilLegitimate(c.MaxSteps); err != nil {
 		return out, err
 	} else if !res.Converged {
@@ -314,7 +335,7 @@ func (c Campaign) Run(t Target) (Outcome, error) {
 		for _, v := range rng.Perm(n)[:faults] {
 			t.CorruptNode(graph.NodeID(v), rng)
 		}
-		sys = program.NewSystem(t, c.NewDaemon(trial))
+		sys = newEngine(t, c.Workers, c.Seed+int64(trial)+1, c.NewDaemon(trial))
 		res, err := sys.RunUntilLegitimate(c.MaxSteps)
 		if err != nil {
 			return out, err

@@ -1,0 +1,81 @@
+package msgnet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+import (
+	"netorient/internal/graph"
+	"netorient/internal/spantree"
+)
+
+// TestRunTimeoutMidDelivery: the deadline fires while the system is
+// still actively executing moves (adversarial start on a graph too big
+// to converge in the window); Run must return ErrTimeout with some
+// moves already fired and every goroutine joined.
+func TestRunTimeoutMidDelivery(t *testing.T) {
+	g := graph.Grid(12, 12)
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Randomize(rand.New(rand.NewSource(17)))
+	rt := New(tr, 17)
+	err = rt.Run(func() bool { return false }, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if rt.Moves() == 0 {
+		t.Fatal("timed out before any move: deadline did not land mid-delivery")
+	}
+}
+
+// TestCancelBeforeFirstMessage: a pre-cancelled context aborts
+// RunContext before the daemon loop observes anything else.
+func TestCancelBeforeFirstMessage(t *testing.T) {
+	g := graph.Ring(6)
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(tr, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = rt.RunContext(ctx, func() bool { return false }, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestLifecycleExitPathsLeaveNoGoroutines covers the cancel and
+// mid-delivery-timeout exits (the success and plain-timeout paths are
+// covered by TestRunLeavesNoGoroutines).
+func TestLifecycleExitPathsLeaveNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	g := graph.Grid(8, 8)
+	tr, err := spantree.NewBFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Randomize(rand.New(rand.NewSource(23)))
+	_ = New(tr, 23).Run(func() bool { return false }, 10*time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = New(tr, 29).RunContext(ctx, func() bool { return false }, 10*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -14,6 +14,7 @@
 package msgnet
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -51,6 +52,13 @@ func (r *Runtime) Moves() int64 { return r.moves.Load() }
 // until pred holds (checked atomically with the protocol state) or
 // the timeout elapses. All goroutines have exited when Run returns.
 func (r *Runtime) Run(pred func() bool, timeout time.Duration) error {
+	return r.RunContext(context.Background(), pred, timeout)
+}
+
+// RunContext is Run with caller-driven cancellation: it additionally
+// returns ctx.Err() as soon as the context is done, with every
+// processor goroutine already joined.
+func (r *Runtime) RunContext(ctx context.Context, pred func() bool, timeout time.Duration) error {
 	g := r.proto.Graph()
 	n := g.N()
 	stop := make(chan struct{})
@@ -118,6 +126,8 @@ func (r *Runtime) Run(pred func() bool, timeout time.Duration) error {
 	defer tick.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			return ctx.Err()
 		case <-deadline.C:
 			return ErrTimeout
 		case <-tick.C:

@@ -1,0 +1,221 @@
+package orientd_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netorient/internal/graph"
+	"netorient/internal/orientd"
+)
+
+// TestSmoke is the acceptance driver: boot on a grid, converge, serve
+// 8 parallel clients off the witness counters while an edge flap and a
+// node corruption land, confirm re-convergence, metrics, clean
+// shutdown.
+func TestSmoke(t *testing.T) {
+	t.Parallel()
+	err := orientd.Smoke(orientd.SmokeConfig{
+		Config: orientd.Config{
+			GraphSpec: "grid:4x4",
+			Stack:     "dftno",
+			Seed:      7,
+		},
+		Converge: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmokeWeightedToken runs the smoke on a second stack/topology
+// with the weighted election and a live pin active underneath.
+func TestSmokeWeightedToken(t *testing.T) {
+	t.Parallel()
+	err := orientd.Smoke(orientd.SmokeConfig{
+		Config: orientd.Config{
+			GraphSpec: "ring:9",
+			Stack:     "token",
+			Seed:      11,
+			Pins:      map[graph.NodeID]int64{4: 5},
+		},
+		Converge: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// serveTestServer boots a server on an ephemeral TCP port and returns
+// a connected client plus a cleanup-registered shutdown.
+func serveTestServer(t *testing.T, cfg orientd.Config) *orientd.Client {
+	t.Helper()
+	srv, err := orientd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background()) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve exit: %v", err)
+		}
+	})
+	cl, err := orientd.Dial(srv.Addr().Network(), srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// waitLegit polls status until the composed verdict is true.
+func waitLegit(t *testing.T, cl *orientd.Client, phase string) orientd.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st orientd.Status
+		if err := cl.Do(orientd.Request{Op: "status"}, &st); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if st.Legitimate {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: not legitimate (moves=%d enabled=%d)", phase, st.Moves, st.Enabled)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestVerbs exercises the admin protocol edge cases and the full
+// partition / root-crash / heal cycle against a live server.
+func TestVerbs(t *testing.T) {
+	t.Parallel()
+	cl := serveTestServer(t, orientd.Config{GraphSpec: "path:6", Stack: "bfstree", Seed: 3})
+	st := waitLegit(t, cl, "initial")
+	if st.Nodes != 6 || st.Components != 1 || len(st.ActingRoots) != 1 || st.ActingRoots[0] != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Error paths: unknown verb, out-of-range node, removing a missing
+	// edge. Each must answer ok:false without killing the connection.
+	for _, bad := range []orientd.Request{
+		{Op: "warp"},
+		{Op: "corrupt", Node: 99},
+		{Op: "cut", U: 0, V: 5},
+	} {
+		if err := cl.Do(bad, nil); err == nil {
+			t.Fatalf("op %+v should have failed", bad)
+		}
+	}
+
+	// Orientation on a tree stack exposes parent pointers.
+	var or orientd.Orientation
+	if err := cl.Do(orientd.Request{Op: "orientation"}, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Parents) != 6 {
+		t.Fatalf("orientation parents = %v", or.Parents)
+	}
+
+	// Partition: cut 2-3, the tail elects an acting root; per-component
+	// legitimacy reports two components.
+	if err := cl.Do(orientd.Request{Op: "cut", U: 2, V: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitLegit(t, cl, "post-cut")
+	var leg orientd.Legitimacy
+	if err := cl.Do(orientd.Request{Op: "legitimacy"}, &leg); err != nil {
+		t.Fatal(err)
+	}
+	if len(leg.Components) != 2 || !leg.Legitimate {
+		t.Fatalf("legitimacy = %+v", leg)
+	}
+	var orphan *orientd.Component
+	for i := range leg.Components {
+		if !leg.Components[i].HasRoot {
+			orphan = &leg.Components[i]
+		}
+	}
+	if orphan == nil || orphan.Orphaned != 3 || len(orphan.ActingRoots) != 1 {
+		t.Fatalf("orphan component missing or wrong: %+v", leg.Components)
+	}
+
+	// Heal and confirm the acting root abdicates.
+	if err := cl.Do(orientd.Request{Op: "heal", U: 2, V: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = waitLegit(t, cl, "post-heal")
+	if len(st.ActingRoots) != 1 || st.ActingRoots[0] != 0 {
+		t.Fatalf("post-heal acting roots = %v", st.ActingRoots)
+	}
+
+	// Root crash: the remaining component elects an acting root; revive
+	// brings the fixed root back and it reclaims authority.
+	if err := cl.Do(orientd.Request{Op: "crash-root"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = waitLegit(t, cl, "post-crash")
+	if len(st.ActingRoots) != 1 || st.ActingRoots[0] == 0 {
+		t.Fatalf("post-crash acting roots = %v", st.ActingRoots)
+	}
+	if err := cl.Do(orientd.Request{Op: "revive"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Do(orientd.Request{Op: "heal", U: 0, V: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = waitLegit(t, cl, "post-revive")
+	if len(st.ActingRoots) != 1 || st.ActingRoots[0] != 0 {
+		t.Fatalf("post-revive acting roots = %v", st.ActingRoots)
+	}
+
+	// Metrics snapshot is sane.
+	var m orientd.Metrics
+	if err := cl.Do(orientd.Request{Op: "metrics"}, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Moves == 0 || m.Requests == 0 || !m.Legitimate {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestServeContextCancel: cancelling the serve context shuts the
+// server down and Serve returns the context error.
+func TestServeContextCancel(t *testing.T) {
+	t.Parallel()
+	srv, err := orientd.New(orientd.Config{GraphSpec: "ring:5", Stack: "token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+}
+
+// TestBadConfig: constructor rejections.
+func TestBadConfig(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []orientd.Config{
+		{GraphSpec: "nope:3"},
+		{GraphSpec: "ring:5", Stack: "mystery"},
+		{GraphSpec: "ring:5", Root: 9},
+		{GraphSpec: "ring:5", Listen: "udp:127.0.0.1:0"},
+	} {
+		if _, err := orientd.New(cfg); err == nil {
+			t.Fatalf("config %+v should have been rejected", cfg)
+		}
+	}
+}
