@@ -311,6 +311,70 @@ func BenchmarkDFTNOStabilizeLarge(b *testing.B) {
 	b.ReportMetric(float64(total)/float64(b.N), "moves/stabilization")
 }
 
+// benchFrontierHeavyStep drives the sharded parallel stepper on the
+// frontier-heavy regime where the phase-B seam cost is worst: the BFS
+// spanning tree on a BFS-relabeled Barabási–Albert graph at n = 2¹⁸
+// (expander-like, so nearly every node's influence ball crosses a
+// shard boundary). Graph and stepper construction stay outside the
+// timer; each iteration is one distributed-daemon step, and the
+// configuration is re-randomized off the clock if it goes terminal.
+// The waves-off/waves-on pair benchmarks the serialized boundary pass
+// against batched wave execution; the committed T17 rows in
+// BENCH_scheduler.json hold the counted (hardware-independent)
+// speedups the regression gate checks.
+func benchFrontierHeavyStep(b *testing.B, waves bool) {
+	b.Helper()
+	base, err := graph.Barabasi(1<<18, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, err := graph.BFSOrder(base, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, inv, err := base.ReorderNodes(order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := spantree.NewBFSTree(g, inv[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	p.Randomize(rng)
+	ps := program.NewParallelSystem(p, program.ParallelConfig{
+		Workers: 8, Seed: 11, FrontierWaves: waves,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := ps.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.StopTimer()
+			p.Randomize(rng)
+			ps.Invalidate()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(ps.FrontierSize()), "frontier")
+	b.ReportMetric(float64(ps.BoundarySpanUnits())/float64(b.N), "seamspan/step")
+}
+
+// BenchmarkParallelStepFrontierHeavy measures the serialized phase-B
+// boundary pass on the fat-frontier barabási workload.
+func BenchmarkParallelStepFrontierHeavy(b *testing.B) { benchFrontierHeavyStep(b, false) }
+
+// BenchmarkParallelStepFrontierWaves is the same workload with batched
+// wave execution of phase B (distance-2R coloring of the frontier).
+// Compare the seamspan/step metric, not ns/op: the counted seam span
+// is what an ideal W-core machine executes serially, while wall-clock
+// per step also pays the per-wave goroutine dispatch, which dominates
+// on an oversubscribed CI box.
+func BenchmarkParallelStepFrontierWaves(b *testing.B) { benchFrontierHeavyStep(b, true) }
+
 // BenchmarkEnabledScan measures guard evaluation over a whole
 // configuration — the simulator's hot path.
 func BenchmarkEnabledScan(b *testing.B) {

@@ -54,11 +54,17 @@ func run(args []string) error {
 		regress   = fs.String("regress", "", "baseline BENCH_*.json to compare latency columns against")
 		tolerance = fs.Float64("tolerance", 2.0, "fail when a speedup cell collapses below baseline/tolerance")
 		workers   = fs.Int("workers", 0, "extra worker count for parallel-stepper sweeps (0 = default sweep)")
+		waves     = fs.Bool("frontier-waves", false, "batched wave execution of the parallel stepper's boundary pass (T16; T17 sweeps it)")
+		reshardIm = fs.Float64("reshard-imbalance", 0, "arm work-driven resharding at this max/mean per-shard work ratio (≤1 = off)")
+		reshardIv = fs.Int64("reshard-interval", 0, "minimum steps between automatic reshards (0 = policy default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers}
+	cfg := experiments.Config{
+		Seed: *seed, Quick: *quick, Trials: *trials, Workers: *workers,
+		FrontierWaves: *waves, ReshardImbalance: *reshardIm, ReshardMinInterval: *reshardIv,
+	}
 
 	var selected []experiments.Experiment
 	if *expList == "all" {
@@ -67,7 +73,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*expList, ",") {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T16)", id)
+				return fmt.Errorf("unknown experiment %q (known: F1..F3, T1..T17)", id)
 			}
 			selected = append(selected, e)
 		}

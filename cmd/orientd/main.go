@@ -1,7 +1,10 @@
 // Command orientd runs the long-lived orientation service: a protocol
 // stack wrapped in root failover, stabilizing continuously on the
-// message-passing actor runtime, with a JSON-line admin socket for
-// queries and fault injection.
+// message-passing actor runtime (or, with -workers N, on the sharded
+// parallel stepper), with a JSON-line admin socket for queries and
+// fault injection. Under -workers, the metrics verb adds a "parallel"
+// section: per-shard work, frontier size, wave count and the
+// resharding/rebuild counters.
 //
 // Usage:
 //
@@ -81,6 +84,10 @@ func run(args []string) error {
 		pins     = fs.String("pins", "", "operator election pins, e.g. 5=10,7=3 (implies -weighted)")
 		smoke    = fs.Bool("smoke", false, "run the CI self-test and exit")
 		converge = fs.Duration("converge-timeout", 60*time.Second, "smoke: per-phase convergence bound")
+		workers  = fs.Int("workers", 0, "execution engine: 0 = actor runtime (default); N>=1 = sharded parallel stepper with N workers (-drop/-reorder/-mailbox do not apply)")
+		waves    = fs.Bool("frontier-waves", false, "parallel stepper: batched concurrent wave execution of the boundary pass")
+		reshIm   = fs.Float64("reshard-imbalance", 0, "parallel stepper: arm work-driven resharding at this max/mean per-shard work ratio (<=1 = off)")
+		reshIv   = fs.Int64("reshard-interval", 0, "parallel stepper: minimum steps between automatic reshards (0 = policy default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +109,10 @@ func run(args []string) error {
 			Reorder: *reorder,
 			Mailbox: *mailbox,
 		},
+		Workers:            *workers,
+		FrontierWaves:      *waves,
+		ReshardImbalance:   *reshIm,
+		ReshardMinInterval: *reshIv,
 	}
 
 	if *smoke {

@@ -143,6 +143,9 @@ func run(args []string) error {
 		leaveSplit = fs.Int("leave-split", 0, "soak: number of cuts never healed — components that never reunite")
 		corruptPr  = fs.Float64("corrupt-rate", 0, "soak: per-phase probability of a transient state fault on top of the topology mutation")
 		workersN   = fs.Int("workers", 1, "campaign engine: 1 = serial under -daemon; 0 = sharded parallel stepper with GOMAXPROCS workers; N>1 = parallel with N workers (applies to plain, churn, soak and fault campaigns)")
+		wavesOn    = fs.Bool("frontier-waves", false, "parallel stepper: batched concurrent wave execution of the boundary pass (distance-2R coloring)")
+		reshardIm  = fs.Float64("reshard-imbalance", 0, "parallel stepper: arm work-driven resharding at this max/mean per-shard work ratio (≤1 = off)")
+		reshardIv  = fs.Int64("reshard-interval", 0, "parallel stepper: minimum steps between automatic reshards (0 = policy default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,6 +154,7 @@ func run(args []string) error {
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
+	reshard := program.ReshardPolicy{Imbalance: *reshardIm, MinInterval: *reshardIv}
 
 	g, err := graph.Named(*spec)
 	if err != nil {
@@ -184,7 +188,10 @@ func run(args []string) error {
 		if effWorkers == 1 {
 			return program.NewSystem(p, mkDaemon(0))
 		}
-		return program.NewParallelSystem(p, program.ParallelConfig{Workers: effWorkers, Seed: seed})
+		return program.NewParallelSystem(p, program.ParallelConfig{
+			Workers: effWorkers, Seed: seed,
+			FrontierWaves: *wavesOn, Reshard: reshard,
+		})
 	}
 
 	if *soakN > 0 {
@@ -365,8 +372,10 @@ func run(args []string) error {
 			// The sharded parallel stepper is its own maximal
 			// distributed daemon; -daemon does not apply to it.
 			ps := program.NewParallelSystem(p, program.ParallelConfig{
-				Workers: *workersN,
-				Seed:    *seed + int64(trial),
+				Workers:       *workersN,
+				Seed:          *seed + int64(trial),
+				FrontierWaves: *wavesOn,
+				Reshard:       reshard,
 			})
 			res, err = ps.RunUntilLegitimate(budget)
 		}

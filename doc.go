@@ -81,14 +81,29 @@
 // no other shard reads or is influenced by a move there. Each step
 // runs two phases: phase A fires interior nodes concurrently, one
 // goroutine per shard, each with its own seeded RNG and eager in-shard
-// guard-cache repair; phase B serializes the frontier (non-interior
-// nodes) in ascending order. The recorded trace is the canonical
-// serialization — shard 0's moves, then shard 1's, …, then the
-// boundary — and the differential suite replays every trace through
-// Protocol.Execute on a restored snapshot, asserting each move fires
-// and the final configurations match byte for byte. Ownership is
-// enforced, not assumed: a move whose influence escapes its shard is
-// reported as an under-declared radius, and workers never write
+// guard-cache repair; phase B executes the frontier (non-interior
+// nodes) in ascending order — serially by default, or in batched
+// concurrent *waves* under ParallelConfig.FrontierWaves. A wave is a
+// color class of the greedy distance-2R coloring of the frontier
+// conflict graph (graph.ConflictAdjacency: two frontier nodes
+// conflict iff their graph distance is ≤ 2R, i.e. exactly when their
+// radius-R balls can intersect), so moves within one wave have
+// pairwise-disjoint balls and commute — the same disjoint-ball
+// simultaneity the paper's distributed daemon permits. Activation and
+// action draws for a wave are made serially in ascending member order
+// before the wave fans out, so the trace stays the canonical
+// serialization — shard 0's moves, then shard 1's, …, then wave 0
+// ascending, wave 1 ascending, … — and the differential suite replays
+// every trace through Protocol.Execute on a restored snapshot,
+// asserting each move fires and the final configurations match byte
+// for byte. The coloring is cached alongside the interior/frontier
+// classification and recomputed only when a topology delta lands
+// within 2R of a frontier node (within R it also reclassifies
+// membership; farther away it skips both — the FrontierRebuilds /
+// WaveRebuilds / ReclassSkips counters prove which tier fired).
+// Ownership is enforced, not assumed: a move whose influence escapes
+// its shard (serial mode) or its declared radius-R ball (wave mode)
+// is reported as an under-declared radius, and workers never write
 // another shard's cache entries, so the suite runs -race-clean at any
 // GOMAXPROCS (CI runs the matrix at 2 and 8).
 //
@@ -104,11 +119,26 @@
 // space — the protocols' flat per-node arrays (a struct-of-arrays
 // layout throughout) and the runner's capacity-doubling arena and
 // Fenwick index make growth to n=10⁶–10⁷ an amortised-O(1) append
-// per node instead of a full rebuild. Because core counts vary across
-// machines, experiment T16 reports counted work/span throughput —
-// work = guard evaluations + moves, span = largest shard's phase-A
-// work + serialized boundary work per step — and the committed
-// baseline gates the 8-worker/1-worker ratio (7.2× at n=2²⁰) in CI.
+// per node instead of a full rebuild. Shard boundaries can also move
+// while the system runs: Reshard() re-partitions into even ranges on
+// demand, and ParallelConfig.Reshard (program.ReshardPolicy) does it
+// automatically — when the max/mean ratio of recent per-shard phase-A
+// work exceeds Imbalance (and at least MinInterval steps have passed),
+// boundaries are recut by prefix sums of that work. Both paths run
+// between steps on the quiesced pool and fully reclassify, so
+// determinism survives as a function of the whole configuration
+// history: equal (snapshot, seed, workers, policy) still replay
+// bit-identically, but a reshard changes which nodes are interior and
+// therefore the schedule from that step on. Because core counts vary
+// across machines, experiments T16/T17 report counted work/span
+// throughput — work = guard evaluations + moves; span per step = the
+// largest shard's phase-A work plus the boundary pass (whole boundary
+// work when serial, Σ of each wave's largest chunk when waved; the
+// phases are barrier-separated, so span adds them) — and the
+// committed baseline gates the ratios in CI: 7.7× counted speedup at
+// 8 workers with waves on (vs 7.2× serialized) on the n=2²⁰ grid, and
+// a 3.4× phase-B span reduction on a fat-frontier barabási graph
+// where the serialized seam dominates.
 //
 // # Dynamic topology
 //
@@ -260,8 +290,11 @@
 //
 // cmd/orientd is the deployment form: a long-running service that
 // boots any of the five stacks — wrapped in root failover — on a
-// graph.Named topology, stabilizes continuously on the actor runtime,
-// and serves a JSON-line admin protocol on a Unix or TCP socket.
+// graph.Named topology, stabilizes continuously on the actor runtime
+// (or the sharded parallel stepper with -workers N, whose metrics
+// verb then reports per-shard work, frontier size, wave count and the
+// resharding counters), and serves a JSON-line admin protocol on a
+// Unix or TCP socket.
 // Query verbs (status, legitimacy, orientation, enabled, metrics)
 // answer off the O(1) witness counters, so many concurrent clients
 // can watch legitimacy and per-component acting-root state live while

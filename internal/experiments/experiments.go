@@ -27,8 +27,22 @@ type Config struct {
 	// Trials overrides the per-point repetition count (0 = default).
 	Trials int
 	// Workers adds a worker count to experiments that sweep the
-	// sharded parallel stepper (T16); 0 keeps the default sweep.
+	// sharded parallel stepper (T16/T17); 0 keeps the default sweep.
 	Workers int
+	// FrontierWaves turns on batched wave execution of the boundary
+	// pass for experiments that build the parallel stepper with a
+	// single mode (T16); T17 sweeps waves on its own rows regardless.
+	FrontierWaves bool
+	// ReshardImbalance and ReshardMinInterval arm the work-driven
+	// resharding policy on the parallel-stepper experiments
+	// (program.ReshardPolicy); an imbalance ≤ 1 leaves it off.
+	ReshardImbalance   float64
+	ReshardMinInterval int64
+}
+
+// reshardPolicy assembles the ReshardPolicy the CLI flags describe.
+func (c Config) reshardPolicy() program.ReshardPolicy {
+	return program.ReshardPolicy{Imbalance: c.ReshardImbalance, MinInterval: c.ReshardMinInterval}
 }
 
 func (c Config) trials(def int) int {
@@ -74,6 +88,7 @@ func All() []Experiment {
 		{"T14", "partition tolerance — per-component convergence while split, heal-time merge vs partition count", T14PartitionHeal},
 		{"T15", "root failover — disconnection detection latency and acting-root re-anchoring vs orphan size", T15Failover},
 		{"T16", "scheduler — sharded parallel stepper counted throughput vs worker count at n=2^20", T16ParallelStepper},
+		{"T17", "scheduler — batched frontier waves + work-driven resharding: counted speedup and phase-B span vs the serialized boundary pass", T17FrontierWaves},
 	}
 }
 

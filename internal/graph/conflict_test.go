@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// bruteConflicts computes the reference answer with per-pair BFS
+// distances.
+func bruteConflicts(g *Graph, members []NodeID, radius int) [][]int32 {
+	adj := make([][]int32, len(members))
+	for i, a := range members {
+		if !g.Alive(a) {
+			continue
+		}
+		dist, _ := BFSFrom(g, a)
+		for j, b := range members {
+			if i == j || !g.Alive(b) {
+				continue
+			}
+			if d := dist[b]; d >= 0 && d <= radius {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+	}
+	return adj
+}
+
+func assertSameAdjacency(t *testing.T, got, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		a := append([]int32(nil), got[i]...)
+		b := append([]int32(nil), want[i]...)
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		if len(a) != len(b) {
+			t.Fatalf("member %d: %v vs %v", i, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("member %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestConflictAdjacency checks the distance-bounded conflict graph
+// against brute-force BFS distances on a ring, a grid, and a mutated
+// graph with a dead node — including the symmetry the greedy wave
+// coloring relies on.
+func TestConflictAdjacency(t *testing.T) {
+	for _, spec := range []string{"ring:12", "grid:5x5", "gnp:18:0.25:3"} {
+		for _, radius := range []int{1, 2, 4} {
+			g, err := Named(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every third node is a member — a frontier-like subset.
+			var members []NodeID
+			for v := 0; v < g.N(); v += 3 {
+				members = append(members, NodeID(v))
+			}
+			got := ConflictAdjacency(g, members, radius)
+			assertSameAdjacency(t, got, bruteConflicts(g, members, radius))
+			for i := range got {
+				for _, j := range got[i] {
+					found := false
+					for _, k := range got[j] {
+						if int(k) == i {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s r=%d: conflict %d->%d not symmetric", spec, radius, i, j)
+					}
+				}
+			}
+		}
+	}
+	// Dead members conflict with nobody.
+	g, err := Named("grid:4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RemoveNode(5); err != nil {
+		t.Fatal(err)
+	}
+	members := []NodeID{0, 5, 6}
+	got := ConflictAdjacency(g, members, 2)
+	if len(got[1]) != 0 {
+		t.Fatalf("dead member has conflicts: %v", got[1])
+	}
+	assertSameAdjacency(t, got, bruteConflicts(g, members, 2))
+}

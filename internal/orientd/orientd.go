@@ -1,8 +1,9 @@
 // Package orientd is the long-running orientation service: it boots
 // any protocol stack from the library — wrapped in the root-failover
 // layer — on a graph.Named topology, runs self-stabilization
-// underneath on the message-passing actor runtime, and serves queries
-// and fault-injection verbs over an admin socket.
+// underneath on the message-passing actor runtime (or the sharded
+// parallel stepper when Config.Workers ≥ 1), and serves queries and
+// fault-injection verbs over an admin socket.
 //
 // The admin protocol is JSON lines: one request object per line, one
 // response object per line, over a Unix or TCP stream socket. Query
@@ -20,6 +21,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"strings"
@@ -31,6 +33,7 @@ import (
 	"netorient/internal/core"
 	"netorient/internal/failover"
 	"netorient/internal/graph"
+	"netorient/internal/program"
 	"netorient/internal/spantree"
 	"netorient/internal/token"
 )
@@ -54,8 +57,23 @@ type Config struct {
 	Weighted bool
 	Pins     map[graph.NodeID]int64
 	// Actor tunes the message runtime (delivery faults, mailbox
-	// capacity, tick). Seed is overridden by Config.Seed.
+	// capacity, tick). Seed is overridden by Config.Seed. Ignored when
+	// Workers ≥ 1.
 	Actor actor.Config
+	// Workers selects the execution engine underneath the service:
+	// 0 (default) runs the message-passing actor runtime; N ≥ 1 runs
+	// the sharded parallel stepper with N workers — its own maximal
+	// distributed daemon, so the Actor delivery-fault knobs do not
+	// apply.
+	Workers int
+	// FrontierWaves enables batched concurrent wave execution of the
+	// parallel stepper's boundary pass (Workers ≥ 1 only).
+	FrontierWaves bool
+	// ReshardImbalance and ReshardMinInterval arm the parallel
+	// stepper's work-driven resharding policy
+	// (program.ReshardPolicy); an imbalance ≤ 1 leaves it off.
+	ReshardImbalance   float64
+	ReshardMinInterval int64
 }
 
 // Request is one admin line.
@@ -115,11 +133,216 @@ type Orientation struct {
 	Parents    []int `json:"parents,omitempty"`
 }
 
-// Metrics is the "metrics" verb payload.
+// ParallelMetrics is the parallel-stepper section of the "metrics"
+// payload (Workers ≥ 1): per-shard cumulative phase-A work makes
+// imbalance observable on the live service, frontier size and wave
+// count make frontier fatness observable, and the rebuild/skip
+// counters show how much classification work topology churn causes.
+type ParallelMetrics struct {
+	Workers          int     `json:"workers"`
+	Steps            int64   `json:"steps"`
+	Rounds           int64   `json:"rounds"`
+	WorkUnits        int64   `json:"work_units"`
+	SpanUnits        int64   `json:"span_units"`
+	BoundarySpan     int64   `json:"boundary_span_units"`
+	ShardWork        []int64 `json:"shard_work"`
+	Frontier         int     `json:"frontier"`
+	WaveSets         int     `json:"wave_sets"`
+	Reshards         int64   `json:"reshards"`
+	FrontierRebuilds int64   `json:"frontier_rebuilds"`
+	WaveRebuilds     int64   `json:"wave_rebuilds"`
+	ReclassSkips     int64   `json:"reclass_skips"`
+	LastError        string  `json:"last_error,omitempty"`
+}
+
+// Metrics is the "metrics" verb payload. The embedded actor metrics
+// are zero when the service runs on the parallel stepper; Parallel is
+// nil when it runs on the actor runtime.
 type Metrics struct {
 	actor.Metrics
-	Requests int64 `json:"admin_requests"`
-	Clients  int64 `json:"clients"`
+	Parallel *ParallelMetrics `json:"parallel,omitempty"`
+	Requests int64            `json:"admin_requests"`
+	Clients  int64            `json:"clients"`
+}
+
+// engine abstracts the execution runtime underneath the service: the
+// message-passing actor runtime (Config.Workers == 0) or the sharded
+// parallel stepper (Workers ≥ 1). Both keep stabilizing in the
+// background while admin verbs read a consistent view via Locked.
+type engine interface {
+	Start() error
+	Stop()
+	Legitimate() bool
+	EnabledCount() int
+	EnabledNodes(buf []graph.NodeID) []graph.NodeID
+	Moves() int64
+	Locked(f func())
+	CorruptNode(v graph.NodeID) error
+	// Mutate applies one graph mutation and resynchronizes the engine
+	// with the resulting delta. Implementations must not let a step
+	// observe the mutated graph before the engine's caches are
+	// reconciled.
+	Mutate(f func() (graph.Delta, error)) error
+}
+
+// actorEngine adapts actor.Runtime to the engine interface.
+type actorEngine struct{ *actor.Runtime }
+
+func (a actorEngine) Mutate(f func() (graph.Delta, error)) error {
+	var d graph.Delta
+	var err error
+	// The actor runtime tolerates the window between the mutation and
+	// ApplyDelta: actors step against versioned ball caches and the
+	// delta bumps every version, so stale reads are re-requested —
+	// the same self-stabilizing recovery the protocol runs on.
+	a.Locked(func() { d, err = f() })
+	if err != nil {
+		return err
+	}
+	a.ApplyDelta(d)
+	return nil
+}
+
+// stepperHost drives a ParallelSystem as a long-running engine: a
+// stepping goroutine fires distributed-daemon steps under the host
+// mutex, idling briefly whenever the configuration is terminal (a
+// fault or topology verb re-enables processors), and admin verbs take
+// the same mutex for a consistent view. Unlike the actor adapter,
+// Mutate holds the mutex across mutation and ApplyDelta: the
+// stepper's shard/frontier caches index the graph directly, so a step
+// between the two would read reclaimed or unclassified nodes.
+type stepperHost struct {
+	mu      sync.Mutex
+	ps      *program.ParallelSystem
+	fp      *failover.Protocol
+	g       *graph.Graph
+	rng     *rand.Rand // admin fault-injection RNG, guarded by mu
+	stepErr error      // first Step error; stepping stops on it
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func (h *stepperHost) Start() error {
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go h.loop()
+	return nil
+}
+
+func (h *stepperHost) loop() {
+	defer close(h.done)
+	for {
+		select {
+		case <-h.stop:
+			return
+		default:
+		}
+		h.mu.Lock()
+		if h.stepErr != nil {
+			h.mu.Unlock()
+			return
+		}
+		n, err := h.ps.Step()
+		if err != nil {
+			h.stepErr = err
+			h.mu.Unlock()
+			return
+		}
+		h.mu.Unlock()
+		if n == 0 {
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+}
+
+func (h *stepperHost) Stop() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+func (h *stepperHost) Legitimate() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fp.Legitimate()
+}
+
+func (h *stepperHost) EnabledCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ps.EnabledCount()
+}
+
+func (h *stepperHost) EnabledNodes(buf []graph.NodeID) []graph.NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ps.EnabledNodes(buf)
+}
+
+func (h *stepperHost) Moves() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ps.Moves()
+}
+
+func (h *stepperHost) Locked(f func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f()
+}
+
+func (h *stepperHost) CorruptNode(v graph.NodeID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v < 0 || int(v) >= h.g.N() || !h.g.Alive(v) {
+		return fmt.Errorf("orientd: corrupt: node %d out of range", v)
+	}
+	h.fp.CorruptNode(v, h.rng)
+	h.ps.Invalidate()
+	return nil
+}
+
+func (h *stepperHost) Mutate(f func() (graph.Delta, error)) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, err := f()
+	if err != nil {
+		return err
+	}
+	h.ps.ApplyDelta(d)
+	return nil
+}
+
+// metrics snapshots the stepper's counters under the host mutex.
+func (h *stepperHost) metrics() *ParallelMetrics {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pm := &ParallelMetrics{
+		Workers:          h.ps.Workers(),
+		Steps:            h.ps.Steps(),
+		Rounds:           h.ps.Rounds(),
+		WorkUnits:        h.ps.WorkUnits(),
+		SpanUnits:        h.ps.SpanUnits(),
+		BoundarySpan:     h.ps.BoundarySpanUnits(),
+		ShardWork:        h.ps.ShardWork(nil),
+		Frontier:         h.ps.FrontierSize(),
+		WaveSets:         h.ps.WaveCount(),
+		Reshards:         h.ps.Reshards(),
+		FrontierRebuilds: h.ps.FrontierRebuilds(),
+		WaveRebuilds:     h.ps.WaveRebuilds(),
+		ReclassSkips:     h.ps.ReclassSkips(),
+	}
+	if h.stepErr != nil {
+		pm.LastError = h.stepErr.Error()
+	}
+	return pm
 }
 
 // Server is one orientd instance: a stack, its actor runtime, and the
@@ -128,7 +351,8 @@ type Server struct {
 	cfg Config
 	g   *graph.Graph
 	fp  *failover.Protocol
-	rt  *actor.Runtime
+	eng engine
+	rt  *actor.Runtime // nil when Workers ≥ 1 (parallel stepper)
 	ln  net.Listener
 
 	adminMu  sync.Mutex // serializes graph-mutating verbs
@@ -193,11 +417,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Weighted || len(cfg.Pins) > 0 {
 		fp.WeightElection(cfg.Pins)
 	}
-	acfg := cfg.Actor
-	acfg.Seed = cfg.Seed
-	rt, err := actor.New(fp, acfg)
-	if err != nil {
-		return nil, err
+	var eng engine
+	var rt *actor.Runtime
+	if cfg.Workers >= 1 {
+		ps := program.NewParallelSystem(fp, program.ParallelConfig{
+			Workers:       cfg.Workers,
+			Seed:          cfg.Seed,
+			FrontierWaves: cfg.FrontierWaves,
+			Reshard: program.ReshardPolicy{
+				Imbalance:   cfg.ReshardImbalance,
+				MinInterval: cfg.ReshardMinInterval,
+			},
+		})
+		eng = &stepperHost{
+			ps: ps, fp: fp, g: g,
+			rng: rand.New(rand.NewSource(cfg.Seed ^ 0x6f72696e)),
+		}
+	} else {
+		acfg := cfg.Actor
+		acfg.Seed = cfg.Seed
+		rt, err = actor.New(fp, acfg)
+		if err != nil {
+			return nil, err
+		}
+		eng = actorEngine{rt}
 	}
 	network, addr, ok := strings.Cut(cfg.Listen, ":")
 	if !ok || (network != "unix" && network != "tcp") {
@@ -211,6 +454,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		g:      g,
 		fp:     fp,
+		eng:    eng,
 		rt:     rt,
 		ln:     ln,
 		start:  time.Now(),
@@ -222,6 +466,8 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Runtime exposes the underlying actor runtime (tests, embedding).
+// It is nil when the service runs on the parallel stepper
+// (Config.Workers ≥ 1).
 func (s *Server) Runtime() *actor.Runtime { return s.rt }
 
 // Close stops accepting, wakes Serve, and shuts the runtime down.
@@ -238,10 +484,10 @@ func (s *Server) Close() {
 // connections are drained before the runtime stops; a graceful
 // shutdown returns nil.
 func (s *Server) Serve(ctx context.Context) error {
-	if err := s.rt.Start(); err != nil {
+	if err := s.eng.Start(); err != nil {
 		return err
 	}
-	defer s.rt.Stop()
+	defer s.eng.Stop()
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -319,7 +565,7 @@ func (s *Server) dispatch(req Request) Response {
 		return ok(s.orientation())
 	case "enabled":
 		var buf []graph.NodeID
-		buf = s.rt.EnabledNodes(buf)
+		buf = s.eng.EnabledNodes(buf)
 		ids := make([]int, len(buf))
 		for i, v := range buf {
 			ids[i] = int(v)
@@ -327,13 +573,19 @@ func (s *Server) dispatch(req Request) Response {
 		sort.Ints(ids)
 		return ok(map[string]any{"enabled": ids})
 	case "metrics":
-		return ok(Metrics{
-			Metrics:  s.rt.Metrics(),
+		m := Metrics{
 			Requests: s.requests.Load(),
 			Clients:  s.clients.Load(),
-		})
+		}
+		if s.rt != nil {
+			m.Metrics = s.rt.Metrics()
+		}
+		if h, isStepper := s.eng.(*stepperHost); isStepper {
+			m.Parallel = h.metrics()
+		}
+		return ok(m)
 	case "corrupt":
-		if err := s.rt.CorruptNode(graph.NodeID(req.Node)); err != nil {
+		if err := s.eng.CorruptNode(graph.NodeID(req.Node)); err != nil {
 			return fail(err)
 		}
 		return ok(nil)
@@ -381,21 +633,13 @@ func (s *Server) dispatch(req Request) Response {
 	return fail(fmt.Errorf("unknown op %q", req.Op))
 }
 
-// mutate applies one graph mutation under the runtime's state lock —
-// so no actor observes a half-applied topology — then resynchronizes
-// the runtime with the resulting delta. Admin mutations are serialized
-// with each other.
+// mutate applies one graph mutation through the engine's combined
+// mutate-and-resync path — so no step observes a half-applied
+// topology. Admin mutations are serialized with each other.
 func (s *Server) mutate(f func() (graph.Delta, error)) error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
-	var d graph.Delta
-	var err error
-	s.rt.Locked(func() { d, err = f() })
-	if err != nil {
-		return err
-	}
-	s.rt.ApplyDelta(d)
-	return nil
+	return s.eng.Mutate(f)
 }
 
 // status builds the "status" payload.
@@ -403,12 +647,12 @@ func (s *Server) status() Status {
 	var st Status
 	st.Stack = s.fp.Name()
 	st.Graph = s.cfg.GraphSpec
-	st.Legitimate = s.rt.Legitimate()
-	st.Enabled = s.rt.EnabledCount()
-	st.Moves = s.rt.Moves()
+	st.Legitimate = s.eng.Legitimate()
+	st.Enabled = s.eng.EnabledCount()
+	st.Moves = s.eng.Moves()
 	st.Clients = s.clients.Load()
 	st.UptimeMS = time.Since(s.start).Milliseconds()
-	s.rt.Locked(func() {
+	s.eng.Locked(func() {
 		st.Nodes = s.g.N()
 		st.Edges = s.g.M()
 		st.Components = s.g.Components()
@@ -423,8 +667,8 @@ func (s *Server) status() Status {
 // is the composed witness answer (O(1)); the breakdown walks the
 // component labels once.
 func (s *Server) legitimacy() Legitimacy {
-	out := Legitimacy{Legitimate: s.rt.Legitimate()}
-	s.rt.Locked(func() {
+	out := Legitimacy{Legitimate: s.eng.Legitimate()}
+	s.eng.Locked(func() {
 		comps := make(map[int]*Component)
 		var labels []int
 		for v := 0; v < s.g.N(); v++ {
@@ -462,12 +706,12 @@ func (s *Server) legitimacy() Legitimacy {
 
 // orientation builds the stack-specific structure payload.
 func (s *Server) orientation() Orientation {
-	out := Orientation{Legitimate: s.rt.Legitimate()}
+	out := Orientation{Legitimate: s.eng.Legitimate()}
 	type namer interface{ Names() []int }
 	type parenter interface {
 		Parent(graph.NodeID) graph.NodeID
 	}
-	s.rt.Locked(func() {
+	s.eng.Locked(func() {
 		in := s.fp.Inner()
 		if nm, ok := in.(namer); ok {
 			out.Names = append(out.Names, nm.Names()...)

@@ -182,6 +182,73 @@ func TestVerbs(t *testing.T) {
 	}
 }
 
+// TestParallelEngine boots the service on the sharded parallel
+// stepper (Workers=2, frontier waves, resharding armed), drives a
+// fault/churn cycle through the admin verbs, and checks the metrics
+// verb's parallel section: per-shard work, frontier/wave counters and
+// the rebuild/skip counters are live, and no step error surfaced.
+func TestParallelEngine(t *testing.T) {
+	t.Parallel()
+	cl := serveTestServer(t, orientd.Config{
+		GraphSpec:        "grid:6x6",
+		Stack:            "bfstree",
+		Seed:             5,
+		Workers:          2,
+		FrontierWaves:    true,
+		ReshardImbalance: 1.5,
+	})
+	waitLegit(t, cl, "initial")
+
+	// Topology churn and a transient fault, exactly like the actor
+	// path; the stepper must keep re-converging underneath.
+	if err := cl.Do(orientd.Request{Op: "flap", U: 14, V: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitLegit(t, cl, "post-flap")
+	if err := cl.Do(orientd.Request{Op: "corrupt", Node: 21}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := waitLegit(t, cl, "post-corrupt")
+	if st.Moves == 0 || st.Enabled != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	var m orientd.Metrics
+	if err := cl.Do(orientd.Request{Op: "metrics"}, &m); err != nil {
+		t.Fatal(err)
+	}
+	pm := m.Parallel
+	if pm == nil {
+		t.Fatal("metrics: no parallel section on the stepper engine")
+	}
+	if pm.Workers != 2 || len(pm.ShardWork) != 2 {
+		t.Fatalf("parallel metrics = %+v", pm)
+	}
+	if pm.Steps == 0 || pm.WorkUnits == 0 || pm.WorkUnits < pm.SpanUnits {
+		t.Fatalf("work/span accounting = %+v", pm)
+	}
+	if pm.ShardWork[0]+pm.ShardWork[1] == 0 {
+		t.Fatalf("per-shard work all zero: %+v", pm.ShardWork)
+	}
+	if pm.FrontierRebuilds+pm.WaveRebuilds+pm.ReclassSkips == 0 {
+		t.Fatalf("no classification activity recorded after churn: %+v", pm)
+	}
+	if pm.LastError != "" {
+		t.Fatalf("stepper error: %s", pm.LastError)
+	}
+
+	// The enabled verb rides the same engine; at legitimacy it is empty.
+	var en struct {
+		Enabled []int `json:"enabled"`
+	}
+	if err := cl.Do(orientd.Request{Op: "enabled"}, &en); err != nil {
+		t.Fatal(err)
+	}
+	if len(en.Enabled) != 0 {
+		t.Fatalf("enabled at legitimacy = %v", en.Enabled)
+	}
+}
+
 // TestServeContextCancel: cancelling the serve context shuts the
 // server down and Serve returns the context error.
 func TestServeContextCancel(t *testing.T) {

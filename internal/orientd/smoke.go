@@ -218,12 +218,23 @@ func Smoke(cfg SmokeConfig) error {
 	if err := admin.Do(Request{Op: "metrics"}, &m); err != nil {
 		return fail(err)
 	}
-	if m.Moves == 0 || m.Sent == 0 || !m.Legitimate {
-		return fail(fmt.Errorf("metrics implausible: moves=%d sent=%d legitimate=%v",
-			m.Moves, m.Sent, m.Legitimate))
+	if pm := m.Parallel; pm != nil {
+		// Parallel-stepper engine: the actor counters are zero;
+		// plausibility lives in the work/span and shard accounting.
+		if pm.Steps == 0 || pm.WorkUnits == 0 || pm.WorkUnits < pm.SpanUnits ||
+			len(pm.ShardWork) != cfg.Workers || pm.LastError != "" {
+			return fail(fmt.Errorf("parallel metrics implausible: %+v", pm))
+		}
+		logf("orientd smoke: parallel metrics steps=%d work=%d span=%d frontier=%d waves=%d reshards=%d admin_requests=%d",
+			pm.Steps, pm.WorkUnits, pm.SpanUnits, pm.Frontier, pm.WaveSets, pm.Reshards, m.Requests)
+	} else {
+		if m.Moves == 0 || m.Sent == 0 || !m.Legitimate {
+			return fail(fmt.Errorf("metrics implausible: moves=%d sent=%d legitimate=%v",
+				m.Moves, m.Sent, m.Legitimate))
+		}
+		logf("orientd smoke: metrics moves=%d sent=%d delivered=%d convergences=%d admin_requests=%d",
+			m.Moves, m.Sent, m.Delivered, m.Convergences, m.Requests)
 	}
-	logf("orientd smoke: metrics moves=%d sent=%d delivered=%d convergences=%d admin_requests=%d",
-		m.Moves, m.Sent, m.Delivered, m.Convergences, m.Requests)
 
 	if err := admin.Do(Request{Op: "shutdown"}, nil); err != nil {
 		return fail(err)
